@@ -1,0 +1,340 @@
+package daisy
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (run with `go test -bench=. -benchmem`, ideally
+// -benchtime=1x — each iteration regenerates the whole experiment).
+// Key scalar outcomes are attached as custom metrics so the paper-vs-
+// measured comparison in EXPERIMENTS.md can be refreshed mechanically.
+
+import (
+	"errors"
+	"testing"
+
+	"daisy/internal/analytic"
+	"daisy/internal/experiments"
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+	"daisy/internal/oracle"
+	"daisy/internal/stats"
+	"daisy/internal/vliw"
+	"daisy/internal/vmm"
+	"daisy/internal/workload"
+)
+
+const benchScale = 1
+
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	return experiments.NewRunner(benchScale)
+}
+
+// BenchmarkTable51_Pathlength regenerates Table 5.1: base instructions per
+// VLIW and translated page size on the 24-issue machine.
+func BenchmarkTable51_Pathlength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runner(b)
+		var ilps []float64
+		for _, name := range experiments.Names() {
+			m, err := r.Measure(name, vliw.BigConfig, 4096, experiments.HierNone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ilps = append(ilps, m.InfILP())
+		}
+		b.ReportMetric(stats.Mean(ilps), "mean-ins/VLIW")
+	}
+}
+
+// BenchmarkFigure51_MachineConfigs sweeps the ten machine configurations.
+func BenchmarkFigure51_MachineConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runner(b)
+		var small, big []float64
+		for _, name := range experiments.Names() {
+			ms, err := r.Measure(name, vliw.Configs[0], 4096, experiments.HierNone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mb, err := r.Measure(name, vliw.BigConfig, 4096, experiments.HierNone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			small = append(small, ms.InfILP())
+			big = append(big, mb.InfILP())
+		}
+		b.ReportMetric(stats.Mean(small), "mean-ILP-4issue")
+		b.ReportMetric(stats.Mean(big), "mean-ILP-24issue")
+	}
+}
+
+// BenchmarkTable52_TradCompiler compares against the traditional-compiler
+// baseline.
+func BenchmarkTable52_TradCompiler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := runner(b).Table52()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable53_FiniteCache measures the finite-cache haircut and the
+// 604E comparison point.
+func BenchmarkTable53_FiniteCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runner(b)
+		var inf, fin []float64
+		for _, name := range experiments.Names() {
+			mi, err := r.Measure(name, vliw.BigConfig, 4096, experiments.HierNone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mf, err := r.Measure(name, vliw.BigConfig, 4096, experiments.HierA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inf = append(inf, mi.InfILP())
+			fin = append(fin, mf.FiniteILP())
+		}
+		b.ReportMetric(stats.Mean(inf), "inf-ILP")
+		b.ReportMetric(stats.Mean(fin), "finite-ILP")
+	}
+}
+
+// BenchmarkTable54_MemChar reports memory characteristics.
+func BenchmarkTable54_MemChar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Table54(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure52_MissRates reports cache miss rates.
+func BenchmarkFigure52_MissRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Figure52(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable55_EightIssue measures the 8-issue machine.
+func BenchmarkTable55_EightIssue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runner(b)
+		var fin []float64
+		for _, name := range experiments.Names() {
+			m, err := r.Measure(name, vliw.EightIssueConfig, 4096, experiments.HierB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fin = append(fin, m.FiniteILP())
+		}
+		b.ReportMetric(stats.Mean(fin), "finite-ILP-8issue")
+	}
+}
+
+// BenchmarkTable56_CrossPage counts cross-page branches by type.
+func BenchmarkTable56_CrossPage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Table56(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable57_Aliases counts runtime load-store aliases.
+func BenchmarkTable57_Aliases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := runner(b)
+		var total uint64
+		for _, name := range experiments.Names() {
+			m, err := r.Measure(name, vliw.BigConfig, 4096, experiments.HierNone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += m.Aliases
+		}
+		b.ReportMetric(float64(total), "aliases")
+	}
+}
+
+// BenchmarkFigure53_ILPvsPageSize sweeps the translation page size.
+func BenchmarkFigure53_ILPvsPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Figure53(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure54_CodeSizeVsPageSize sweeps code size.
+func BenchmarkFigure54_CodeSizeVsPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Figure54(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure55_CrossPageVsPageSize sweeps direct cross-page jumps.
+func BenchmarkFigure55_CrossPageVsPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Figure55(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable58_OverheadModel evaluates the analytic model.
+func BenchmarkTable58_OverheadModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := analytic.OverheadTable(analytic.PaperParams(), 2)
+		if len(rows) != 6 {
+			b.Fatal("bad table")
+		}
+		b.ReportMetric(analytic.PaperRealisticReuse(), "breakeven-reuse")
+	}
+}
+
+// BenchmarkTable59_ReuseFactors measures workload reuse factors.
+func BenchmarkTable59_ReuseFactors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(b).Table59(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(analytic.MeanSpecReuse(), "paper-mean-reuse")
+	}
+}
+
+// BenchmarkTranslationCost measures the incremental compiler's own cost:
+// host time and scheduler work units per translated instruction (§5.1).
+func BenchmarkTranslationCost(b *testing.B) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m := mem.New(experiments.MemSize)
+		if err := prog.Load(m); err != nil {
+			b.Fatal(err)
+		}
+		ma := vmm.New(m, &interp.Env{In: in}, vmm.DefaultOptions())
+		if err := ma.Run(prog.Entry(), 0); err != nil {
+			b.Fatal(err)
+		}
+		insts = ma.Trans.Stats.BaseInsts
+		b.ReportMetric(float64(ma.Trans.Stats.WorkUnits)/float64(insts), "work/ins")
+	}
+	_ = insts
+}
+
+// BenchmarkOracle_ILP measures Chapter 6's oracle parallelism.
+func BenchmarkOracle_ILP(b *testing.B) {
+	w, _ := workload.ByName("c_sieve")
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	for i := 0; i < b.N; i++ {
+		r, err := oracle.Measure(prog, in, oracle.Limits{}, experiments.MemSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ILP, "oracle-ILP")
+	}
+}
+
+// BenchmarkAblation_NoReturnInline measures the return-inlining ablation
+// DESIGN.md calls out.
+func BenchmarkAblation_NoReturnInline(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	for i := 0; i < b.N; i++ {
+		for _, inline := range []bool{true, false} {
+			m := mem.New(experiments.MemSize)
+			if err := prog.Load(m); err != nil {
+				b.Fatal(err)
+			}
+			opt := vmm.DefaultOptions()
+			opt.Trans.InlineReturns = inline
+			ma := vmm.New(m, &interp.Env{In: in}, opt)
+			if err := ma.Run(prog.Entry(), 0); err != nil {
+				b.Fatal(err)
+			}
+			if inline {
+				b.ReportMetric(ma.Stats.InfILP(), "ILP-inline")
+			} else {
+				b.ReportMetric(ma.Stats.InfILP(), "ILP-noinline")
+			}
+		}
+	}
+}
+
+// BenchmarkInterpretiveCompilation compares Chapter 6's trace-guided mode
+// with static translation.
+func BenchmarkInterpretiveCompilation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := runner(b).InterpretiveTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Rows() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkExecutorThroughput measures raw simulated-VLIW execution rate.
+func BenchmarkExecutorThroughput(b *testing.B) {
+	w, _ := workload.ByName("c_sieve")
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mem.New(experiments.MemSize)
+		_ = prog.Load(m)
+		ma := vmm.New(m, &interp.Env{In: in}, vmm.DefaultOptions())
+		if err := ma.Run(prog.Entry(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterThroughput is the reference point for the executor.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	w, _ := workload.ByName("c_sieve")
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mem.New(experiments.MemSize)
+		_ = prog.Load(m)
+		ip := interp.New(m, &interp.Env{In: in}, prog.Entry())
+		if err := ip.Run(0); !errors.Is(err, interp.ErrHalt) {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// daisy-asm assembles base-architecture source to a flat binary image, or
+// disassembles a binary back to mnemonics.
+//
+// Usage:
+//
+//	daisy-asm prog.s -o prog.bin     # assemble (image starts at the first chunk)
+//	daisy-asm -d prog.bin -org 0x10000
+//	daisy-asm -l prog.s              # listing: address, word, mnemonic
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"daisy"
+	"daisy/internal/asm"
+	"daisy/internal/ppc"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output file for the flat image (default: stdout summary)")
+		disasm  = flag.Bool("d", false, "disassemble a binary instead")
+		org     = flag.Uint("org", 0, "load address for -d")
+		listing = flag.Bool("l", false, "print an assembly listing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: daisy-asm [flags] FILE")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *disasm, uint32(*org), *listing); err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, out string, disasm bool, org uint32, listing bool) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	if disasm {
+		for i := 0; i+4 <= len(data); i += 4 {
+			w := binary.BigEndian.Uint32(data[i:])
+			fmt.Printf("%08x: %08x  %s\n", org+uint32(i), w, ppc.Decode(w))
+		}
+		return nil
+	}
+
+	prog, err := daisy.Assemble(string(data))
+	if err != nil {
+		return err
+	}
+	if listing {
+		printListing(prog)
+	}
+	if out != "" {
+		return writeImage(prog, out)
+	}
+	if !listing {
+		for _, c := range prog.Chunks {
+			fmt.Printf("chunk at %#x: %d bytes\n", c.Addr, len(c.Data))
+		}
+		fmt.Printf("entry %#x\n", prog.Entry())
+	}
+	return nil
+}
+
+func printListing(prog *asm.Program) {
+	for _, c := range prog.Chunks {
+		for i := 0; i+4 <= len(c.Data); i += 4 {
+			w := binary.BigEndian.Uint32(c.Data[i:])
+			fmt.Printf("%08x: %08x  %s\n", c.Addr+uint32(i), w, ppc.Decode(w))
+		}
+	}
+}
+
+func writeImage(prog *asm.Program, out string) error {
+	if len(prog.Chunks) == 0 {
+		return fmt.Errorf("nothing assembled")
+	}
+	base := prog.Chunks[0].Addr
+	img := make([]byte, prog.End()-base)
+	for _, c := range prog.Chunks {
+		copy(img[c.Addr-base:], c.Data)
+	}
+	return os.WriteFile(out, img, 0o644)
+}

@@ -1,0 +1,79 @@
+// daisy-experiments regenerates every table and figure of the paper's
+// evaluation on this reproduction's workloads and prints them in the
+// paper's layout. EXPERIMENTS.md archives one run of this program.
+//
+// Usage:
+//
+//	daisy-experiments              # everything, default scale
+//	daisy-experiments -scale 3     # bigger inputs
+//	daisy-experiments -only t51,t53,f52
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"daisy/internal/experiments"
+	"daisy/internal/stats"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 2, "benchmark input scale")
+		only  = flag.String("only", "", "comma-separated experiment ids (t51..t59, f51..f55, cost, oracle, ablate)")
+	)
+	flag.Parse()
+	if err := run(*scale, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale int, only string) error {
+	r := experiments.NewRunner(scale)
+	sel := map[string]bool{}
+	for _, s := range strings.Split(only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sel[s] = true
+		}
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[id] }
+
+	type exp struct {
+		id string
+		fn func() (*stats.Table, error)
+	}
+	exps := []exp{
+		{"t51", r.Table51},
+		{"f51", r.Figure51},
+		{"t52", r.Table52},
+		{"t53", r.Table53},
+		{"t54", r.Table54},
+		{"f52", r.Figure52},
+		{"t55", r.Table55},
+		{"t56", r.Table56},
+		{"t57", r.Table57},
+		{"f53", r.Figure53},
+		{"f54", r.Figure54},
+		{"f55", r.Figure55},
+		{"t58", func() (*stats.Table, error) { return r.Table58(), nil }},
+		{"t59", r.Table59},
+		{"cost", r.TranslationCost},
+		{"oracle", r.OracleTable},
+		{"trace", r.InterpretiveTable},
+		{"ablate", func() (*stats.Table, error) { return r.Ablations("c_sieve") }},
+	}
+	for _, e := range exps {
+		if !want(e.id) {
+			continue
+		}
+		t, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Printf("[%s]\n%s\n", e.id, t)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// daisy-run executes a base-architecture program under the DAISY machine
+// (or the reference interpreter) and prints execution statistics.
+//
+// Usage:
+//
+//	daisy-run [flags] prog.s          # assemble and run a source file
+//	daisy-run [flags] -workload wc    # run a built-in benchmark
+//
+// Flags select the machine configuration, translation page size, input,
+// and whether to cross-check against the interpreter.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"daisy"
+	"daisy/internal/vliw"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "24-16-8-7", "machine configuration (see -list-configs)")
+		listCfg    = flag.Bool("list-configs", false, "list machine configurations and exit")
+		pageSize   = flag.Uint("pagesize", 4096, "translation page size in bytes")
+		wl         = flag.String("workload", "", "run a built-in benchmark instead of a file")
+		scale      = flag.Int("scale", 1, "benchmark input scale")
+		inputFile  = flag.String("input", "", "file providing the program's input stream")
+		useInterp  = flag.Bool("interp", false, "run on the reference interpreter instead")
+		check      = flag.Bool("check", false, "run both engines and compare outputs")
+		dump       = flag.Bool("dump", false, "dump the entry group's tree VLIWs before running")
+		memMB      = flag.Uint("mem", 8, "physical memory size in MiB")
+		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *listCfg {
+		for _, c := range daisy.Configs {
+			fmt.Printf("%s\t(issue %d, ALU %d, mem %d, branch %d)\n",
+				c.Name, c.Issue, c.ALU, c.Mem, c.Branch)
+		}
+		return
+	}
+	if err := run(*configName, uint32(*pageSize), *wl, *scale, *inputFile,
+		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configName string, pageSize uint32, wl string, scale int, inputFile string,
+	useInterp, check, dump bool, memSize uint32, maxInsts uint64, args []string) error {
+
+	cfg, err := vliw.ConfigByName(configName)
+	if err != nil {
+		return err
+	}
+
+	var prog *daisy.Program
+	var input []byte
+	switch {
+	case wl != "":
+		w, err := daisy.WorkloadByName(wl)
+		if err != nil {
+			return err
+		}
+		if prog, err = w.Build(); err != nil {
+			return err
+		}
+		input = w.Input(scale)
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		if prog, err = daisy.Assemble(string(src)); err != nil {
+			return err
+		}
+	default:
+		return errors.New("need a source file or -workload NAME")
+	}
+	if inputFile != "" {
+		if input, err = os.ReadFile(inputFile); err != nil {
+			return err
+		}
+	}
+
+	opt := daisy.DefaultOptions()
+	opt.Trans.Config = cfg
+	opt.Trans.PageSize = pageSize
+
+	if dump {
+		m := daisy.NewMemory(memSize)
+		if err := prog.Load(m); err != nil {
+			return err
+		}
+		g, err := daisy.Translate(m, opt.Trans, prog.Entry())
+		if err != nil {
+			return err
+		}
+		fmt.Print(g.Dump())
+	}
+
+	var interpOut []byte
+	var interpInsts uint64
+	if useInterp || check {
+		m := daisy.NewMemory(memSize)
+		if err := prog.Load(m); err != nil {
+			return err
+		}
+		env := &daisy.Env{In: input}
+		ip := daisy.NewInterpreter(m, env, prog.Entry())
+		if err := ip.Run(maxInsts); !errors.Is(err, daisy.ErrHalt) {
+			return fmt.Errorf("interpreter: %w", err)
+		}
+		interpOut, interpInsts = env.Out, ip.InstCount
+		if useInterp {
+			os.Stdout.Write(env.Out)
+			fmt.Fprintf(os.Stderr, "[interp] %d instructions\n", ip.InstCount)
+			return nil
+		}
+	}
+
+	m := daisy.NewMemory(memSize)
+	if err := prog.Load(m); err != nil {
+		return err
+	}
+	env := &daisy.Env{In: input}
+	ma := daisy.NewMachine(m, env, opt)
+	if err := ma.Run(prog.Entry(), maxInsts); err != nil {
+		return err
+	}
+	os.Stdout.Write(env.Out)
+
+	s := &ma.Stats
+	fmt.Fprintf(os.Stderr, "[daisy] %d base instructions in %d VLIWs (ILP %.2f)\n",
+		s.BaseInsts(), s.Exec.VLIWs, s.InfILP())
+	fmt.Fprintf(os.Stderr, "[daisy] pages %d, groups %d, interp insts %d, aliases %d, cross-page %d/%d/%d (direct/lr/ctr)\n",
+		s.PagesBuilt, s.GroupsBuilt, s.InterpInsts, s.Exec.Aliases,
+		s.CrossDirect, s.CrossLR, s.CrossCTR)
+
+	if check {
+		if !bytes.Equal(interpOut, env.Out) {
+			return errors.New("output differs from the interpreter")
+		}
+		if interpInsts != s.BaseInsts() {
+			return fmt.Errorf("instruction counts differ: interp %d, daisy %d",
+				interpInsts, s.BaseInsts())
+		}
+		fmt.Fprintln(os.Stderr, "[check] identical output and instruction counts")
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package daisy
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPublicAPI exercises the facade end to end the way the README's
+// quickstart does.
+func TestPublicAPI(t *testing.T) {
+	prog, err := Assemble(`
+_start:	li r3, 0
+	li r4, 10
+	mtctr r4
+loop:	addi r3, r3, 5
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMemory(1 << 20)
+	if err := prog.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{}
+	machine := NewMachine(m, env, DefaultOptions())
+	if err := machine.Run(prog.Entry(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if machine.St.GPR[3] != 50 {
+		t.Fatalf("r3 = %d", machine.St.GPR[3])
+	}
+
+	m2 := NewMemory(1 << 20)
+	_ = prog.Load(m2)
+	ip := NewInterpreter(m2, &Env{}, prog.Entry())
+	if err := ip.Run(0); !errors.Is(err, ErrHalt) {
+		t.Fatal(err)
+	}
+	if ip.InstCount != machine.Stats.BaseInsts() {
+		t.Fatal("engines disagree")
+	}
+}
+
+func TestPublicTranslate(t *testing.T) {
+	prog, err := Assemble("_start:\tadd r3, r4, r5\n\tli r0, 0\n\tsc\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemory(1 << 16)
+	_ = prog.Load(m)
+	g, err := Translate(m, DefaultTranslatorOptions(), prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.VLIWs) == 0 || g.Dump() == "" {
+		t.Fatal("no VLIWs produced")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(Workloads()) != 8 {
+		t.Fatalf("expected the paper's 8 benchmarks, got %d", len(Workloads()))
+	}
+	w, err := WorkloadByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Input(1)) == 0 || len(w.Model(w.Input(1))) == 0 {
+		t.Fatal("workload input/model broken")
+	}
+	if len(Configs) != 10 || BigConfig.Issue != 24 || EightIssueConfig.Issue != 8 {
+		t.Fatal("machine configurations")
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart: translate the paper's own Figure 2.2 code fragment to tree
+// VLIW instructions, dump them, and run a small program under both the
+// DAISY machine and the reference interpreter to show bit-identical
+// architected results.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"daisy"
+)
+
+// figure22 is the 11-instruction PowerPC fragment of Figure 2.2. OFFPAGE
+// targets land on the next 4K page.
+const figure22 = `
+	.org 0x1000
+_start:	add   r1, r2, r3
+	bc    12, 2, L1      # bc L1 (taken when cr0.eq)
+	slwi  r12, r1, 3     # sli r12,r1,3
+	xor   r4, r5, r6
+	and   r8, r4, r7
+	bc    12, 6, L2      # bc L2 (taken when cr1.eq)
+	b     0x2000         # b OFFPAGE
+L1:	subf  r9, r11, r10   # sub r9,r10,r11
+	b     0x2004         # b OFFPAGE
+L2:	cntlzw r11, r4
+	b     0x2008         # b OFFPAGE
+`
+
+const demo = `
+_start:	li r3, 0
+	li r4, 500
+	mtctr r4
+loop:	addi r3, r3, 3
+	andi. r5, r3, 4
+	beq skip
+	addi r6, r6, 1
+skip:	bdnz loop
+	li r0, 0
+	sc
+`
+
+func main() {
+	// Part 1: the Figure 2.2 fragment, translated and dumped.
+	prog, err := daisy.Assemble(figure22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := daisy.NewMemory(1 << 20)
+	if err := prog.Load(m); err != nil {
+		log.Fatal(err)
+	}
+	g, err := daisy.Translate(m, daisy.DefaultTranslatorOptions(), prog.Entry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 2.2 fragment as tree VLIWs ===")
+	fmt.Print(g.Dump())
+
+	// Part 2: run a loop under both engines.
+	run := func() (*daisy.Env, *daisy.State, uint64, float64) {
+		p, err := daisy.Assemble(demo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mm := daisy.NewMemory(1 << 20)
+		if err := p.Load(mm); err != nil {
+			log.Fatal(err)
+		}
+		env := &daisy.Env{}
+		ma := daisy.NewMachine(mm, env, daisy.DefaultOptions())
+		if err := ma.Run(p.Entry(), 0); err != nil {
+			log.Fatal(err)
+		}
+		return env, &ma.St, ma.Stats.BaseInsts(), ma.Stats.InfILP()
+	}
+	_, st, insts, ilp := run()
+
+	p2, _ := daisy.Assemble(demo)
+	m2 := daisy.NewMemory(1 << 20)
+	_ = p2.Load(m2)
+	ip := daisy.NewInterpreter(m2, &daisy.Env{}, p2.Entry())
+	if err := ip.Run(0); !errors.Is(err, daisy.ErrHalt) {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== DAISY vs interpreter on a 500-iteration loop ===")
+	fmt.Printf("daisy:  r3=%d r6=%d, %d instructions, ILP %.2f\n",
+		st.GPR[3], st.GPR[6], insts, ilp)
+	fmt.Printf("interp: r3=%d r6=%d, %d instructions\n",
+		ip.St.GPR[3], ip.St.GPR[6], ip.InstCount)
+	if st.GPR[3] != ip.St.GPR[3] || st.GPR[6] != ip.St.GPR[6] || insts != ip.InstCount {
+		log.Fatal("MISMATCH — this should never happen")
+	}
+	fmt.Println("identical architected results.")
+}

@@ -1,0 +1,137 @@
+// Package analytic implements §5.1's compilation-overhead model
+// (equations 5.1-5.5 and Table 5.8) and the reuse-factor data of
+// Table 5.9.
+package analytic
+
+import "fmt"
+
+// Params are the model constants of §5.1.
+type Params struct {
+	PV           float64 // VLIW ILP
+	PR           float64 // base architecture ILP
+	InstsPerPage float64 // i
+	ClockHz      float64
+}
+
+// PaperParams are the values used throughout §5.1.
+func PaperParams() Params {
+	return Params{PV: 4, PR: 1.5, InstsPerPage: 1024, ClockHz: 1e9}
+}
+
+// BreakEvenReuse solves equation 5.2 for r: the page reuse needed for the
+// VLIW (translation cost included) to match the base architecture.
+// translateCycles is t, the cycles to translate one page; users is the N
+// of the multiuser extension (1 for a single user).
+func BreakEvenReuse(p Params, translateCycles float64, users int) float64 {
+	denom := p.InstsPerPage * (1/p.PR - 1/p.PV)
+	return float64(users) * translateCycles / denom
+}
+
+// TranslateCycles computes t from a per-instruction translation cost and
+// the ILP the translator itself achieves.
+func TranslateCycles(p Params, costPerInst, translatorILP float64) float64 {
+	return costPerInst * p.InstsPerPage / translatorILP
+}
+
+// PaperRealisticReuse reproduces the paper's r = 2340 headline: 3900
+// instructions to translate one instruction, translator ILP 4.
+func PaperRealisticReuse() float64 {
+	p := PaperParams()
+	return BreakEvenReuse(p, TranslateCycles(p, 3900, 4), 1)
+}
+
+// PaperOptimisticReuse reproduces the paper's r = 60 lower bound:
+// 200 instructions per instruction, translator ILP 5, infinite VLIW ILP.
+func PaperOptimisticReuse() float64 {
+	p := PaperParams()
+	p.PV = 1e12 // "infinite"
+	return BreakEvenReuse(p, TranslateCycles(p, 200, 5), 1)
+}
+
+// OverheadRow is one line of Table 5.8.
+type OverheadRow struct {
+	CostPerInst   float64
+	UniquePages   float64
+	ReuseFactor   float64
+	TimeChangePct float64
+}
+
+// OverheadTable reproduces Table 5.8: the percentage runtime change of a
+// program that runs two seconds on the VLIW (at ILP PV) relative to the
+// base architecture (at ILP PR), once dynamic compilation (charged at one
+// translated instruction per cycle) is added.
+func OverheadTable(p Params, programSeconds float64) []OverheadRow {
+	totalInsts := programSeconds * p.ClockHz * p.PV
+	var rows []OverheadRow
+	for _, cost := range []float64{4000, 1000} {
+		for _, pages := range []float64{200, 1000, 10000} {
+			compile := cost * p.InstsPerPage * pages / p.ClockHz
+			tv := programSeconds + compile
+			tr := totalInsts / p.PR / p.ClockHz
+			rows = append(rows, OverheadRow{
+				CostPerInst:   cost,
+				UniquePages:   pages,
+				ReuseFactor:   totalInsts / (pages * p.InstsPerPage),
+				TimeChangePct: (tv/tr - 1) * 100,
+			})
+		}
+	}
+	return rows
+}
+
+// SpecReuse is one Table 5.9 row (the paper's published SPEC95 numbers).
+type SpecReuse struct {
+	Name        string
+	DynamicIns  uint64
+	StaticWords uint64
+	ReuseFactor uint64
+}
+
+// PaperSpecReuse returns Table 5.9 as published.
+func PaperSpecReuse() []SpecReuse {
+	return []SpecReuse{
+		{"go", 28_484_380_204, 135_852, 209_672},
+		{"m88ksim", 74_250_235_201, 84_520, 878_493},
+		{"cc1", 530_917_945, 357_166, 1_486},
+		{"compress95", 46_447_459_568, 52_172, 890_276},
+		{"li", 67_032_228_801, 67_084, 999_228},
+		{"ijpeg", 23_240_395_306, 88_834, 261_616},
+		{"perl", 31_756_251_781, 138_603, 229_117},
+		{"vortex", 81_194_315_906, 212_052, 382_898},
+		{"tomcatv", 19_801_801_846, 81_488, 243_003},
+		{"swim", 23_285_024_298, 81_041, 287_324},
+		{"su2cor", 24_910_592_778, 94_390, 263_911},
+		{"hydro2d", 35_120_255_512, 95_668, 367_106},
+		{"mgrid", 52_075_609_242, 83_119, 626_519},
+		{"applu", 36_216_514_505, 99_526, 363_890},
+		{"turb3d", 61_056_312_213, 90_411, 675_320},
+		{"apsi", 21_194_979_390, 119_956, 176_690},
+		{"fpppp", 97_972_804_125, 91_000, 1_076_624},
+		{"wave5", 25_265_952_275, 120_091, 210_390},
+	}
+}
+
+// MeanSpecReuse returns the mean reuse factor of Table 5.9 (the paper
+// reports a mean over 450,000).
+func MeanSpecReuse() float64 {
+	rows := PaperSpecReuse()
+	var sum float64
+	for _, r := range rows {
+		sum += float64(r.ReuseFactor)
+	}
+	return sum / float64(len(rows))
+}
+
+// Reuse computes a measured reuse factor: dynamic instructions per static
+// instruction actually touched.
+func Reuse(dynamic, staticTouched uint64) float64 {
+	if staticTouched == 0 {
+		return 0
+	}
+	return float64(dynamic) / float64(staticTouched)
+}
+
+func (r OverheadRow) String() string {
+	return fmt.Sprintf("cost=%v pages=%v reuse=%.0f change=%+.0f%%",
+		r.CostPerInst, r.UniquePages, r.ReuseFactor, r.TimeChangePct)
+}

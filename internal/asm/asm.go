@@ -1,0 +1,304 @@
+// Package asm is a two-pass assembler for the base-architecture subset in
+// internal/ppc. The benchmark workloads (internal/workload) and all code
+// examples are written in this syntax, assembled to binary pages, and fed
+// to both the reference interpreter and the DAISY translator — exactly the
+// position AIX binaries occupy in the paper.
+//
+// Syntax summary:
+//
+//	# comment                 ; comment
+//	label:  addi r3, r1, 8
+//	        lwz  r4, -4(r1)
+//	        beq  cr1, done        # extended mnemonics
+//	        .org 0x1000
+//	        .word 1, 2, label
+//	        .byte 'a', 0x7f
+//	        .half 258
+//	        .ascii "text"  .asciz "text"
+//	        .space 64      .align 8
+//	        .equ  SIZE, 0x100
+//
+// Expressions allow + and - over numbers, character literals, symbols, and
+// `.` (the current location). A symbol may carry @h, @ha or @l to select
+// the high, high-adjusted or low 16 bits of its value.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"daisy/internal/mem"
+	"daisy/internal/ppc"
+)
+
+// Chunk is a contiguous span of assembled bytes.
+type Chunk struct {
+	Addr uint32
+	Data []byte
+}
+
+// Program is the result of assembling one source file.
+type Program struct {
+	Chunks  []Chunk
+	Symbols map[string]uint32
+}
+
+// Entry returns the program entry point: the `_start` symbol if defined,
+// otherwise the address of the first chunk.
+func (p *Program) Entry() uint32 {
+	if e, ok := p.Symbols["_start"]; ok {
+		return e
+	}
+	if len(p.Chunks) > 0 {
+		return p.Chunks[0].Addr
+	}
+	return 0
+}
+
+// Load copies every chunk into memory.
+func (p *Program) Load(m *mem.Memory) error {
+	for _, c := range p.Chunks {
+		if err := m.LoadImage(c.Addr, c.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// End returns the first address past the highest chunk.
+func (p *Program) End() uint32 {
+	var end uint32
+	for _, c := range p.Chunks {
+		if e := c.Addr + uint32(len(c.Data)); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Error is an assembly diagnostic carrying the 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	syms    map[string]uint32
+	chunks  []Chunk
+	cur     *Chunk // chunk being appended to (nil before first emit)
+	pc      uint32
+	pass    int // 1 = symbol collection, 2 = emission
+	line    int
+	unknown bool // pass-1 expression referenced a not-yet-defined symbol
+}
+
+// Assemble assembles src into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{syms: make(map[string]uint32)}
+	for pass := 1; pass <= 2; pass++ {
+		a.pass = pass
+		a.pc = 0
+		a.cur = nil
+		a.chunks = nil
+		lines := strings.Split(src, "\n")
+		for i, raw := range lines {
+			a.line = i + 1
+			if err := a.doLine(raw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Program{Chunks: a.chunks, Symbols: a.syms}, nil
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) doLine(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 || !isIdent(strings.TrimSpace(line[:i])) {
+			break
+		}
+		name := strings.TrimSpace(line[:i])
+		if a.pass == 1 {
+			if _, dup := a.syms[name]; dup {
+				return a.errf("duplicate label %q", name)
+			}
+		}
+		a.syms[name] = a.pc
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnem = strings.ToLower(mnem)
+
+	if strings.HasPrefix(mnem, ".") {
+		return a.directive(mnem, rest)
+	}
+	return a.instruction(mnem, rest)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(name, rest string) error {
+	switch name {
+	case ".org":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		a.pc = v
+		a.cur = nil
+	case ".align":
+		n, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		if n == 0 || n&(n-1) != 0 {
+			return a.errf(".align needs a power of two, got %d", n)
+		}
+		for a.pc%n != 0 {
+			a.emit8(0)
+		}
+	case ".space":
+		n, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		for i := uint32(0); i < n; i++ {
+			a.emit8(0)
+		}
+	case ".byte", ".half", ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.eval(f)
+			if err != nil {
+				return err
+			}
+			switch name {
+			case ".byte":
+				a.emit8(byte(v))
+			case ".half":
+				a.emit8(byte(v >> 8))
+				a.emit8(byte(v))
+			default:
+				a.emit32(v)
+			}
+		}
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf("bad string %s: %v", rest, err)
+		}
+		for _, b := range []byte(s) {
+			a.emit8(b)
+		}
+		if name == ".asciz" {
+			a.emit8(0)
+		}
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 || !isIdent(parts[0]) {
+			return a.errf(".equ wants NAME, VALUE")
+		}
+		v, err := a.eval(parts[1])
+		if err != nil {
+			return err
+		}
+		a.syms[parts[0]] = v
+	default:
+		return a.errf("unknown directive %s", name)
+	}
+	return nil
+}
+
+func (a *assembler) emit8(b byte) {
+	if a.pass == 2 {
+		if a.cur == nil || a.cur.Addr+uint32(len(a.cur.Data)) != a.pc {
+			a.chunks = append(a.chunks, Chunk{Addr: a.pc})
+			a.cur = &a.chunks[len(a.chunks)-1]
+		}
+		a.cur.Data = append(a.cur.Data, b)
+	}
+	a.pc++
+}
+
+func (a *assembler) emit32(v uint32) {
+	a.emit8(byte(v >> 24))
+	a.emit8(byte(v >> 16))
+	a.emit8(byte(v >> 8))
+	a.emit8(byte(v))
+}
+
+func (a *assembler) emitInst(in ppc.Inst) error {
+	if a.pass == 1 {
+		a.pc += 4
+		return nil
+	}
+	w, err := ppc.Encode(in)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	a.emit32(w)
+	return nil
+}
+
+// splitOperands splits on commas that are not inside parentheses or quotes.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inQuote := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			if c == inQuote && (i == 0 || s[i-1] != '\\') {
+				inQuote = 0
+			}
+		case c == '\'' || c == '"':
+			inQuote = c
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

@@ -1,0 +1,293 @@
+package asm
+
+import (
+	"testing"
+
+	"daisy/internal/ppc"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// word extracts the i-th instruction word of the first chunk.
+func word(t *testing.T, p *Program, i int) uint32 {
+	t.Helper()
+	if len(p.Chunks) == 0 || len(p.Chunks[0].Data) < (i+1)*4 {
+		t.Fatalf("program too short for word %d", i)
+	}
+	d := p.Chunks[0].Data[i*4:]
+	return uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3])
+}
+
+func decode(t *testing.T, p *Program, i int) ppc.Inst {
+	return ppc.Decode(word(t, p, i))
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+	.org 0x1000
+_start:	addi r3, r1, 8
+	add  r4, r3, r3
+	and. r5, r4, r3
+	lwz  r6, -4(r1)
+	stw  r6, 12(r1)
+	lwzx r7, r1, r3
+`)
+	if p.Entry() != 0x1000 {
+		t.Fatalf("Entry = %#x", p.Entry())
+	}
+	want := []string{
+		"addi r3,r1,8",
+		"add r4,r3,r3",
+		"and. r5,r4,r3",
+		"lwz r6,-4(r1)",
+		"stw r6,12(r1)",
+		"lwzx r7,r1,r3",
+	}
+	for i, w := range want {
+		if got := decode(t, p, i).String(); got != w {
+			t.Errorf("inst %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestExtendedMnemonics(t *testing.T) {
+	p := assemble(t, `
+	li   r3, -1
+	lis  r4, 0x1234
+	mr   r5, r3
+	not  r6, r3
+	sub  r7, r5, r3
+	subi r8, r7, 4
+	slwi r9, r3, 4
+	srwi r10, r3, 8
+	nop
+	mtlr r3
+	mflr r4
+	mtctr r5
+	mfctr r6
+`)
+	checks := []struct {
+		i    int
+		want ppc.Inst
+	}{
+		{0, ppc.Inst{Op: ppc.OpAddi, RT: 3, Imm: -1}},
+		{1, ppc.Inst{Op: ppc.OpAddis, RT: 4, Imm: 0x1234}},
+		{2, ppc.Inst{Op: ppc.OpOr, RA: 5, RT: 3, RB: 3}},
+		{3, ppc.Inst{Op: ppc.OpNor, RA: 6, RT: 3, RB: 3}},
+		{4, ppc.Inst{Op: ppc.OpSubf, RT: 7, RA: 3, RB: 5}}, // sub d,a,b = subf d,b,a
+		{5, ppc.Inst{Op: ppc.OpAddi, RT: 8, RA: 7, Imm: -4}},
+		{6, ppc.Inst{Op: ppc.OpRlwinm, RA: 9, RT: 3, SH: 4, MB: 0, ME: 27}},
+		{7, ppc.Inst{Op: ppc.OpRlwinm, RA: 10, RT: 3, SH: 24, MB: 8, ME: 31}},
+		{8, ppc.Inst{Op: ppc.OpOri}},
+		{9, ppc.Inst{Op: ppc.OpMtspr, RT: 3, SPR: ppc.SprLR}},
+		{10, ppc.Inst{Op: ppc.OpMfspr, RT: 4, SPR: ppc.SprLR}},
+		{11, ppc.Inst{Op: ppc.OpMtspr, RT: 5, SPR: ppc.SprCTR}},
+		{12, ppc.Inst{Op: ppc.OpMfspr, RT: 6, SPR: ppc.SprCTR}},
+	}
+	for _, c := range checks {
+		got := decode(t, p, c.i)
+		c.want.Raw = got.Raw
+		if got != c.want {
+			t.Errorf("inst %d = %+v, want %+v", c.i, got, c.want)
+		}
+	}
+}
+
+func TestBranches(t *testing.T) {
+	p := assemble(t, `
+	.org 0x100
+top:	cmpwi r3, 0
+	beq  done
+	bne  cr1, top
+	blt  top
+	bgt  done
+	ble  cr2, done
+	bge  top
+	bdnz top
+	bdz  done
+	b    top
+	bl   sub
+	blr
+	bctr
+	beqlr
+	bnectr
+	blrl
+done:	sc
+sub:	blr
+`)
+	// beq done: BO=12, BI=2, displacement to done.
+	in := decode(t, p, 1)
+	if in.Op != ppc.OpBc || in.BO != 12 || in.BI != 2 {
+		t.Errorf("beq: %+v", in)
+	}
+	doneAddr := p.Symbols["done"]
+	if got := uint32(0x104) + uint32(in.Imm); got != doneAddr {
+		t.Errorf("beq target = %#x, want %#x", got, doneAddr)
+	}
+	in = decode(t, p, 2) // bne cr1
+	if in.BO != 4 || in.BI != 4+2 {
+		t.Errorf("bne cr1: %+v", in)
+	}
+	in = decode(t, p, 3) // blt
+	if in.BO != 12 || in.BI != 0 {
+		t.Errorf("blt: %+v", in)
+	}
+	in = decode(t, p, 5) // ble cr2 = not GT on cr2
+	if in.BO != 4 || in.BI != 8+1 {
+		t.Errorf("ble cr2: %+v", in)
+	}
+	in = decode(t, p, 7) // bdnz
+	if in.BO != 16 {
+		t.Errorf("bdnz: %+v", in)
+	}
+	in = decode(t, p, 8) // bdz
+	if in.BO != 18 {
+		t.Errorf("bdz: %+v", in)
+	}
+	in = decode(t, p, 10) // bl
+	if in.Op != ppc.OpB || !in.LK {
+		t.Errorf("bl: %+v", in)
+	}
+	in = decode(t, p, 11) // blr
+	if in.Op != ppc.OpBclr || in.BO != 20 || in.LK {
+		t.Errorf("blr: %+v", in)
+	}
+	in = decode(t, p, 12) // bctr
+	if in.Op != ppc.OpBcctr || in.BO != 20 {
+		t.Errorf("bctr: %+v", in)
+	}
+	in = decode(t, p, 13) // beqlr
+	if in.Op != ppc.OpBclr || in.BO != 12 || in.BI != 2 {
+		t.Errorf("beqlr: %+v", in)
+	}
+	in = decode(t, p, 14) // bnectr
+	if in.Op != ppc.OpBcctr || in.BO != 4 || in.BI != 2 {
+		t.Errorf("bnectr: %+v", in)
+	}
+	in = decode(t, p, 15) // blrl
+	if in.Op != ppc.OpBclr || in.BO != 20 || !in.LK {
+		t.Errorf("blrl: %+v", in)
+	}
+}
+
+func TestDirectivesAndExpressions(t *testing.T) {
+	p := assemble(t, `
+	.equ BASE, 0x2000
+	.org BASE
+v1:	.word 1, 2, v1
+	.byte 'A', 0xff
+	.half 0x1234
+	.align 4
+v2:	.asciz "hi"
+	.space 3
+after:	.word after
+	.word v2@h, v2@l, BASE+16
+	.word . - BASE
+`)
+	d := p.Chunks[0].Data
+	if p.Chunks[0].Addr != 0x2000 {
+		t.Fatalf("chunk addr %#x", p.Chunks[0].Addr)
+	}
+	get32 := func(off int) uint32 {
+		return uint32(d[off])<<24 | uint32(d[off+1])<<16 | uint32(d[off+2])<<8 | uint32(d[off+3])
+	}
+	if get32(0) != 1 || get32(4) != 2 || get32(8) != 0x2000 {
+		t.Errorf(".word block wrong: % x", d[:12])
+	}
+	if d[12] != 'A' || d[13] != 0xff {
+		t.Errorf(".byte wrong: % x", d[12:14])
+	}
+	if d[14] != 0x12 || d[15] != 0x34 {
+		t.Errorf(".half wrong: % x", d[14:16])
+	}
+	// .align 4 is a no-op at offset 16; v2 = "hi\0" at 0x2010.
+	if v2 := p.Symbols["v2"]; v2 != 0x2010 {
+		t.Fatalf("v2 = %#x", v2)
+	}
+	if string(d[16:18]) != "hi" || d[18] != 0 {
+		t.Errorf(".asciz wrong: % x", d[16:19])
+	}
+	after := p.Symbols["after"]
+	if after != 0x2016 {
+		t.Fatalf("after = %#x", after)
+	}
+	off := int(after - 0x2000)
+	if get32(off) != after {
+		t.Errorf("after word = %#x", get32(off))
+	}
+	if get32(off+4) != 0 || get32(off+8) != 0x2010 || get32(off+12) != 0x2010 {
+		t.Errorf("@h/@l/expr words wrong: %#x %#x %#x", get32(off+4), get32(off+8), get32(off+12))
+	}
+	if got := get32(off + 16); got != uint32(off+16) {
+		t.Errorf("dot expression = %#x, want %#x", got, off+16)
+	}
+}
+
+func TestHaHelper(t *testing.T) {
+	p := assemble(t, `
+	.equ ADDR, 0x12348000
+	lis  r3, ADDR@ha
+	addi r3, r3, ADDR@l
+`)
+	in0 := decode(t, p, 0)
+	in1 := decode(t, p, 1)
+	got := uint32(in0.Imm)<<16 + uint32(in1.Imm)
+	if got != 0x12348000 {
+		t.Fatalf("@ha/@l pair reconstructs %#x", got)
+	}
+}
+
+func TestMultipleChunks(t *testing.T) {
+	p := assemble(t, `
+	.org 0x100
+	nop
+	.org 0x1000
+	nop
+`)
+	if len(p.Chunks) != 2 || p.Chunks[0].Addr != 0x100 || p.Chunks[1].Addr != 0x1000 {
+		t.Fatalf("chunks: %+v", p.Chunks)
+	}
+	if p.End() != 0x1004 {
+		t.Fatalf("End = %#x", p.End())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r1, r2",
+		"addi r1",
+		"addi r1, r2, undefined_symbol",
+		"lwz r1, 4(cr1)",
+		".align 3",
+		".equ 1bad, 2",
+		"dup: nop\ndup: nop",
+		"beq cr1",
+		".byte 'toolong'",
+		".unknowndir 4",
+		"b unknown_target",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q): expected error", src)
+		}
+	}
+}
+
+func TestLabelOnlyAndComments(t *testing.T) {
+	p := assemble(t, `
+# full line comment
+lone:
+	nop  ; trailing comment
+also: final:	sc
+`)
+	if p.Symbols["lone"] != 0 || p.Symbols["also"] != 4 || p.Symbols["final"] != 4 {
+		t.Fatalf("labels: %v", p.Symbols)
+	}
+}

@@ -1,0 +1,616 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"daisy/internal/ppc"
+)
+
+// operand kinds produced by the parser.
+type opKind uint8
+
+const (
+	opGPR opKind = iota
+	opCRF
+	opImm
+	opDispReg // disp(rA)
+)
+
+type operand struct {
+	kind opKind
+	reg  ppc.Reg
+	crf  uint8
+	val  uint32
+	disp int32
+}
+
+func (a *assembler) parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	low := strings.ToLower(s)
+	if r, ok := parseGPR(low); ok {
+		return operand{kind: opGPR, reg: r}, nil
+	}
+	if strings.HasPrefix(low, "cr") && len(low) == 3 && low[2] >= '0' && low[2] <= '7' {
+		return operand{kind: opCRF, crf: low[2] - '0'}, nil
+	}
+	if i := strings.LastIndexByte(s, '('); i >= 0 && strings.HasSuffix(s, ")") {
+		base := strings.TrimSpace(s[i+1 : len(s)-1])
+		r, ok := parseGPR(strings.ToLower(base))
+		if !ok {
+			return operand{}, a.errf("bad base register %q", base)
+		}
+		d, err := a.eval(s[:i])
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opDispReg, reg: r, disp: int32(d)}, nil
+	}
+	v, err := a.eval(s)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{kind: opImm, val: v}, nil
+}
+
+func parseGPR(s string) (ppc.Reg, bool) {
+	if s == "sp" {
+		return 1, true
+	}
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	return ppc.Reg(n), true
+}
+
+// eval evaluates a constant expression. During pass 1, undefined symbols
+// evaluate to 0 (they will be defined by the time pass 2 runs; truly
+// undefined symbols error in pass 2).
+func (a *assembler) eval(expr string) (uint32, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, a.errf("empty expression")
+	}
+	var total int64
+	sign := int64(1)
+	i := 0
+	first := true
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '+':
+			sign = 1
+			i++
+			first = false
+		case c == '-':
+			sign = -1
+			i++
+			first = false
+		default:
+			j := i
+			for j < len(expr) && expr[j] != '+' && expr[j] != '-' && expr[j] != ' ' && expr[j] != '\t' {
+				if expr[j] == '\'' { // char literal may contain +/-
+					j++
+					for j < len(expr) && expr[j] != '\'' {
+						j++
+					}
+				}
+				j++
+			}
+			if j > len(expr) {
+				j = len(expr)
+			}
+			v, err := a.term(expr[i:j])
+			if err != nil {
+				return 0, err
+			}
+			total += sign * int64(v)
+			sign = 1
+			i = j
+			first = false
+		}
+	}
+	_ = first
+	return uint32(total), nil
+}
+
+func (a *assembler) term(t string) (uint32, error) {
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return 0, a.errf("empty term")
+	}
+	if t == "." {
+		return a.pc, nil
+	}
+	if t[0] == '\'' {
+		s, err := strconv.Unquote(t)
+		if err != nil || len(s) != 1 {
+			return 0, a.errf("bad character literal %s", t)
+		}
+		return uint32(s[0]), nil
+	}
+	base := t
+	suffix := ""
+	if i := strings.IndexByte(t, '@'); i >= 0 {
+		base, suffix = t[:i], strings.ToLower(t[i+1:])
+	}
+	var v uint32
+	if n, err := strconv.ParseInt(base, 0, 64); err == nil {
+		v = uint32(n)
+	} else if n, err := strconv.ParseUint(base, 0, 64); err == nil {
+		v = uint32(n)
+	} else if isIdent(base) {
+		sv, ok := a.syms[base]
+		if !ok {
+			if a.pass == 2 {
+				return 0, a.errf("undefined symbol %q", base)
+			}
+			a.unknown = true
+		}
+		v = sv
+	} else {
+		return 0, a.errf("bad term %q", t)
+	}
+	switch suffix {
+	case "":
+	case "h":
+		v >>= 16
+	case "ha": // high-adjusted: compensates for sign extension of the low half
+		v = (v + 0x8000) >> 16
+	case "l":
+		v &= 0xffff
+	default:
+		return 0, a.errf("unknown relocation suffix @%s", suffix)
+	}
+	return v, nil
+}
+
+// branch condition table for extended mnemonics: suffix -> (sense, CR bit).
+var condTable = map[string]struct {
+	sense bool
+	bit   uint8
+}{
+	"lt": {true, ppc.CrLT}, "gt": {true, ppc.CrGT}, "eq": {true, ppc.CrEQ},
+	"so": {true, ppc.CrSO}, "ge": {false, ppc.CrLT}, "le": {false, ppc.CrGT},
+	"ne": {false, ppc.CrEQ}, "ns": {false, ppc.CrSO},
+}
+
+func (a *assembler) instruction(mnem, rest string) error {
+	ops := splitOperands(rest)
+	parsed := make([]operand, len(ops))
+	for i, o := range ops {
+		p, err := a.parseOperand(o)
+		if err != nil {
+			return err
+		}
+		parsed[i] = p
+	}
+	in, err := a.build(mnem, parsed)
+	if err != nil {
+		return err
+	}
+	return a.emitInst(in)
+}
+
+func (a *assembler) need(ops []operand, kinds ...opKind) error {
+	if len(ops) != len(kinds) {
+		return a.errf("want %d operands, got %d", len(kinds), len(ops))
+	}
+	for i, k := range kinds {
+		if ops[i].kind != k {
+			return a.errf("operand %d has wrong kind", i+1)
+		}
+	}
+	return nil
+}
+
+// build translates a mnemonic plus parsed operands to a ppc.Inst,
+// expanding extended mnemonics.
+func (a *assembler) build(mnem string, ops []operand) (ppc.Inst, error) {
+	rc := strings.HasSuffix(mnem, ".")
+	base := strings.TrimSuffix(mnem, ".")
+
+	if in, ok, err := a.buildBranch(base, mnem, ops); ok {
+		return in, err
+	}
+
+	switch base {
+	case "nop":
+		return ppc.Inst{Op: ppc.OpOri}, nil
+	case "li":
+		if err := a.need(ops, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		if v := int32(ops[1].val); a.pass == 2 && (v < -0x8000 || v > 0x7fff) {
+			return ppc.Inst{}, a.errf("li immediate %d does not fit in 16 bits (use lis/ori)", v)
+		}
+		return ppc.Inst{Op: ppc.OpAddi, RT: ops[0].reg, Imm: int32(int16(ops[1].val))}, nil
+	case "lis":
+		if err := a.need(ops, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpAddis, RT: ops[0].reg, Imm: int32(int16(ops[1].val))}, nil
+	case "mr":
+		if err := a.need(ops, opGPR, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpOr, RA: ops[0].reg, RT: ops[1].reg, RB: ops[1].reg, Rc: rc}, nil
+	case "not":
+		if err := a.need(ops, opGPR, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpNor, RA: ops[0].reg, RT: ops[1].reg, RB: ops[1].reg, Rc: rc}, nil
+	case "sub":
+		if err := a.need(ops, opGPR, opGPR, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpSubf, RT: ops[0].reg, RA: ops[2].reg, RB: ops[1].reg, Rc: rc}, nil
+	case "subi":
+		if err := a.need(ops, opGPR, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpAddi, RT: ops[0].reg, RA: ops[1].reg, Imm: -int32(ops[2].val)}, nil
+	case "slwi", "srwi":
+		if err := a.need(ops, opGPR, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		n := uint8(ops[2].val & 31)
+		in := ppc.Inst{Op: ppc.OpRlwinm, RA: ops[0].reg, RT: ops[1].reg, Rc: rc}
+		if base == "slwi" {
+			in.SH, in.MB, in.ME = n, 0, 31-n
+		} else {
+			in.SH, in.MB, in.ME = 32-n&31, n, 31
+			if n == 0 {
+				in.SH = 0
+			}
+		}
+		return in, nil
+	case "clrlwi":
+		if err := a.need(ops, opGPR, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpRlwinm, RA: ops[0].reg, RT: ops[1].reg,
+			SH: 0, MB: uint8(ops[2].val & 31), ME: 31, Rc: rc}, nil
+	case "mtlr", "mtctr", "mtxer":
+		if err := a.need(ops, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMtspr, RT: ops[0].reg, SPR: sprFor(base)}, nil
+	case "mflr", "mfctr", "mfxer":
+		if err := a.need(ops, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMfspr, RT: ops[0].reg, SPR: sprFor(base)}, nil
+	case "mfcr":
+		if err := a.need(ops, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMfcr, RT: ops[0].reg}, nil
+	case "mtcrf":
+		if err := a.need(ops, opImm, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMtcrf, FXM: uint8(ops[0].val), RT: ops[1].reg}, nil
+	case "sc":
+		return ppc.Inst{Op: ppc.OpSc}, nil
+	case "rfi":
+		return ppc.Inst{Op: ppc.OpRfi}, nil
+	case "mtspr":
+		if err := a.need(ops, opImm, opGPR); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMtspr, SPR: ppc.SPR(ops[0].val), RT: ops[1].reg}, nil
+	case "mfspr":
+		if err := a.need(ops, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMfspr, RT: ops[0].reg, SPR: ppc.SPR(ops[1].val)}, nil
+	case "sync":
+		return ppc.Inst{Op: ppc.OpSync}, nil
+	case "cmpwi", "cmplwi", "cmpw", "cmplw":
+		return a.buildCompare(base, ops)
+	case "rlwinm", "rlwimi":
+		if err := a.need(ops, opGPR, opGPR, opImm, opImm, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		op := ppc.OpRlwinm
+		if base == "rlwimi" {
+			op = ppc.OpRlwimi
+		}
+		return ppc.Inst{Op: op, RA: ops[0].reg, RT: ops[1].reg,
+			SH: uint8(ops[2].val & 31), MB: uint8(ops[3].val & 31),
+			ME: uint8(ops[4].val & 31), Rc: rc}, nil
+	case "srawi":
+		if err := a.need(ops, opGPR, opGPR, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpSrawi, RA: ops[0].reg, RT: ops[1].reg,
+			SH: uint8(ops[2].val & 31), Rc: rc}, nil
+	case "mcrf":
+		if err := a.need(ops, opCRF, opCRF); err != nil {
+			return ppc.Inst{}, err
+		}
+		return ppc.Inst{Op: ppc.OpMcrf, CRF: ops[0].crf, CRFA: ops[1].crf}, nil
+	case "crand", "cror", "crxor", "crnand", "crnor":
+		if err := a.need(ops, opImm, opImm, opImm); err != nil {
+			return ppc.Inst{}, err
+		}
+		op := map[string]ppc.Opcode{"crand": ppc.OpCrand, "cror": ppc.OpCror,
+			"crxor": ppc.OpCrxor, "crnand": ppc.OpCrnand, "crnor": ppc.OpCrnor}[base]
+		return ppc.Inst{Op: op, RT: ppc.Reg(ops[0].val & 31),
+			RA: ppc.Reg(ops[1].val & 31), RB: ppc.Reg(ops[2].val & 31)}, nil
+	}
+
+	if in, ok, err := a.buildDFormImm(base, mnem, ops); ok {
+		return in, err
+	}
+	if in, ok, err := a.buildTriple(base, rc, ops); ok {
+		return in, err
+	}
+	if in, ok, err := a.buildUnary(base, rc, ops); ok {
+		return in, err
+	}
+	if in, ok, err := a.buildMem(base, ops); ok {
+		return in, err
+	}
+	return ppc.Inst{}, a.errf("unknown mnemonic %q", mnem)
+}
+
+func sprFor(m string) ppc.SPR {
+	switch {
+	case strings.HasSuffix(m, "lr"):
+		return ppc.SprLR
+	case strings.HasSuffix(m, "ctr"):
+		return ppc.SprCTR
+	}
+	return ppc.SprXER
+}
+
+func (a *assembler) buildCompare(base string, ops []operand) (ppc.Inst, error) {
+	crf := uint8(0)
+	if len(ops) > 0 && ops[0].kind == opCRF {
+		crf = ops[0].crf
+		ops = ops[1:]
+	}
+	if len(ops) != 2 || ops[0].kind != opGPR {
+		return ppc.Inst{}, a.errf("%s wants [crN,] rA, operand", base)
+	}
+	switch base {
+	case "cmpwi":
+		if ops[1].kind != opImm {
+			return ppc.Inst{}, a.errf("cmpwi wants an immediate")
+		}
+		return ppc.Inst{Op: ppc.OpCmpi, CRF: crf, RA: ops[0].reg, Imm: int32(int16(ops[1].val))}, nil
+	case "cmplwi":
+		if ops[1].kind != opImm {
+			return ppc.Inst{}, a.errf("cmplwi wants an immediate")
+		}
+		return ppc.Inst{Op: ppc.OpCmpli, CRF: crf, RA: ops[0].reg, Imm: int32(ops[1].val & 0xffff)}, nil
+	case "cmpw":
+		if ops[1].kind != opGPR {
+			return ppc.Inst{}, a.errf("cmpw wants a register")
+		}
+		return ppc.Inst{Op: ppc.OpCmp, CRF: crf, RA: ops[0].reg, RB: ops[1].reg}, nil
+	default:
+		if ops[1].kind != opGPR {
+			return ppc.Inst{}, a.errf("cmplw wants a register")
+		}
+		return ppc.Inst{Op: ppc.OpCmpl, CRF: crf, RA: ops[0].reg, RB: ops[1].reg}, nil
+	}
+}
+
+var dImmOps = map[string]ppc.Opcode{
+	"addi": ppc.OpAddi, "addis": ppc.OpAddis, "addic": ppc.OpAddic,
+	"subfic": ppc.OpSubfic, "mulli": ppc.OpMulli,
+	"ori": ppc.OpOri, "oris": ppc.OpOris, "xori": ppc.OpXori,
+	"xoris": ppc.OpXoris, "andi": ppc.OpAndiRC, "andis": ppc.OpAndisRC,
+}
+
+func (a *assembler) buildDFormImm(base, mnem string, ops []operand) (ppc.Inst, bool, error) {
+	op, ok := dImmOps[base]
+	if !ok {
+		return ppc.Inst{}, false, nil
+	}
+	if base == "addic" && strings.HasSuffix(mnem, ".") {
+		op = ppc.OpAddicRC
+	}
+	if err := a.need(ops, opGPR, opGPR, opImm); err != nil {
+		return ppc.Inst{}, true, err
+	}
+	in := ppc.Inst{Op: op, Imm: int32(int16(ops[2].val)), Rc: op == ppc.OpAddicRC || op == ppc.OpAndiRC || op == ppc.OpAndisRC}
+	switch op {
+	case ppc.OpOri, ppc.OpOris, ppc.OpXori, ppc.OpXoris, ppc.OpAndiRC, ppc.OpAndisRC:
+		// Logical D-forms: destination is RA, source is RS (RT field),
+		// and the immediate is zero-extended.
+		in.RA, in.RT = ops[0].reg, ops[1].reg
+		in.Imm = int32(ops[2].val & 0xffff)
+	default:
+		in.RT, in.RA = ops[0].reg, ops[1].reg
+	}
+	return in, true, nil
+}
+
+var tripleOps = map[string]struct {
+	op      ppc.Opcode
+	destIsA bool // logical/shift forms write RA
+}{
+	"add": {ppc.OpAdd, false}, "addc": {ppc.OpAddc, false}, "adde": {ppc.OpAdde, false},
+	"subf": {ppc.OpSubf, false}, "subfc": {ppc.OpSubfc, false}, "subfe": {ppc.OpSubfe, false},
+	"mullw": {ppc.OpMullw, false}, "mulhwu": {ppc.OpMulhwu, false},
+	"divw": {ppc.OpDivw, false}, "divwu": {ppc.OpDivwu, false},
+	"and": {ppc.OpAnd, true}, "andc": {ppc.OpAndc, true}, "or": {ppc.OpOr, true},
+	"nor": {ppc.OpNor, true}, "xor": {ppc.OpXor, true}, "nand": {ppc.OpNand, true},
+	"slw": {ppc.OpSlw, true}, "srw": {ppc.OpSrw, true}, "sraw": {ppc.OpSraw, true},
+}
+
+func (a *assembler) buildTriple(base string, rc bool, ops []operand) (ppc.Inst, bool, error) {
+	e, ok := tripleOps[base]
+	if !ok {
+		return ppc.Inst{}, false, nil
+	}
+	if err := a.need(ops, opGPR, opGPR, opGPR); err != nil {
+		return ppc.Inst{}, true, err
+	}
+	in := ppc.Inst{Op: e.op, RB: ops[2].reg, Rc: rc}
+	if e.destIsA {
+		in.RA, in.RT = ops[0].reg, ops[1].reg
+	} else {
+		in.RT, in.RA = ops[0].reg, ops[1].reg
+	}
+	return in, true, nil
+}
+
+var unaryOps = map[string]struct {
+	op      ppc.Opcode
+	destIsA bool
+}{
+	"neg": {ppc.OpNeg, false}, "cntlzw": {ppc.OpCntlzw, true},
+	"extsb": {ppc.OpExtsb, true}, "extsh": {ppc.OpExtsh, true},
+}
+
+func (a *assembler) buildUnary(base string, rc bool, ops []operand) (ppc.Inst, bool, error) {
+	e, ok := unaryOps[base]
+	if !ok {
+		return ppc.Inst{}, false, nil
+	}
+	if err := a.need(ops, opGPR, opGPR); err != nil {
+		return ppc.Inst{}, true, err
+	}
+	in := ppc.Inst{Op: e.op, Rc: rc}
+	if e.destIsA {
+		in.RA, in.RT = ops[0].reg, ops[1].reg
+	} else {
+		in.RT, in.RA = ops[0].reg, ops[1].reg
+	}
+	return in, true, nil
+}
+
+var dMemOps = map[string]ppc.Opcode{
+	"lwz": ppc.OpLwz, "lwzu": ppc.OpLwzu, "lbz": ppc.OpLbz, "lbzu": ppc.OpLbzu,
+	"lhz": ppc.OpLhz, "lhzu": ppc.OpLhzu, "lha": ppc.OpLha,
+	"stw": ppc.OpStw, "stwu": ppc.OpStwu, "stb": ppc.OpStb, "stbu": ppc.OpStbu,
+	"sth": ppc.OpSth, "sthu": ppc.OpSthu, "lmw": ppc.OpLmw, "stmw": ppc.OpStmw,
+}
+
+var xMemOps = map[string]ppc.Opcode{
+	"lwzx": ppc.OpLwzx, "lbzx": ppc.OpLbzx, "lhzx": ppc.OpLhzx,
+	"stwx": ppc.OpStwx, "stbx": ppc.OpStbx, "sthx": ppc.OpSthx,
+}
+
+func (a *assembler) buildMem(base string, ops []operand) (ppc.Inst, bool, error) {
+	if op, ok := dMemOps[base]; ok {
+		if err := a.need(ops, opGPR, opDispReg); err != nil {
+			return ppc.Inst{}, true, err
+		}
+		return ppc.Inst{Op: op, RT: ops[0].reg, RA: ops[1].reg, Imm: ops[1].disp}, true, nil
+	}
+	if op, ok := xMemOps[base]; ok {
+		if err := a.need(ops, opGPR, opGPR, opGPR); err != nil {
+			return ppc.Inst{}, true, err
+		}
+		return ppc.Inst{Op: op, RT: ops[0].reg, RA: ops[1].reg, RB: ops[2].reg}, true, nil
+	}
+	return ppc.Inst{}, false, nil
+}
+
+// buildBranch handles b, bl, bc and the extended conditional forms
+// (beq/bne/…, bdnz/bdz, blr/bctr and their cond/link variants).
+func (a *assembler) buildBranch(base, mnem string, ops []operand) (ppc.Inst, bool, error) {
+	link := false
+	m := base
+	if m != "bl" && strings.HasSuffix(m, "l") && m != "bcl" {
+		// peel a trailing 'l' (link) from forms like beql, blrl, bdnzl
+		switch m {
+		case "blrl", "bctrl":
+			link, m = true, m[:len(m)-1]
+		default:
+			if len(m) > 2 && (condSuffix(m[1:len(m)-1]) || m[1:len(m)-1] == "dnz" || m[1:len(m)-1] == "dz") {
+				link, m = true, m[:len(m)-1]
+			}
+		}
+	}
+
+	switch m {
+	case "b", "bl":
+		if err := a.need(ops, opImm); err != nil {
+			return ppc.Inst{}, true, err
+		}
+		return ppc.Inst{Op: ppc.OpB, Imm: int32(ops[0].val) - int32(a.pc), LK: m == "bl" || link}, true, nil
+	case "blr", "bctr":
+		op := ppc.OpBclr
+		if m == "bctr" {
+			op = ppc.OpBcctr
+		}
+		return ppc.Inst{Op: op, BO: 20, LK: link}, true, nil
+	case "bc":
+		if len(ops) != 3 || ops[0].kind != opImm || ops[1].kind != opImm || ops[2].kind != opImm {
+			return ppc.Inst{}, true, a.errf("bc wants BO, BI, target")
+		}
+		return ppc.Inst{Op: ppc.OpBc, BO: uint8(ops[0].val), BI: uint8(ops[1].val),
+			Imm: int32(ops[2].val) - int32(a.pc), LK: link}, true, nil
+	case "bdnz", "bdz":
+		if err := a.need(ops, opImm); err != nil {
+			return ppc.Inst{}, true, err
+		}
+		bo := uint8(16)
+		if m == "bdz" {
+			bo = 18
+		}
+		return ppc.Inst{Op: ppc.OpBc, BO: bo, Imm: int32(ops[0].val) - int32(a.pc), LK: link}, true, nil
+	}
+
+	if len(m) < 3 || m[0] != 'b' {
+		return ppc.Inst{}, false, nil
+	}
+	// b<cond>, b<cond>lr, b<cond>ctr
+	rest := m[1:]
+	via := ""
+	if strings.HasSuffix(rest, "lr") && condSuffix(strings.TrimSuffix(rest, "lr")) {
+		via, rest = "lr", strings.TrimSuffix(rest, "lr")
+	} else if strings.HasSuffix(rest, "ctr") && condSuffix(strings.TrimSuffix(rest, "ctr")) {
+		via, rest = "ctr", strings.TrimSuffix(rest, "ctr")
+	}
+	c, ok := condTable[rest]
+	if !ok {
+		return ppc.Inst{}, false, nil
+	}
+	crf := uint8(0)
+	if len(ops) > 0 && ops[0].kind == opCRF {
+		crf = ops[0].crf
+		ops = ops[1:]
+	}
+	bo := uint8(4)
+	if c.sense {
+		bo = 12
+	}
+	bi := crf*4 + c.bit
+	switch via {
+	case "lr":
+		if len(ops) != 0 {
+			return ppc.Inst{}, true, a.errf("%s takes no target", mnem)
+		}
+		return ppc.Inst{Op: ppc.OpBclr, BO: bo, BI: bi, LK: link}, true, nil
+	case "ctr":
+		if len(ops) != 0 {
+			return ppc.Inst{}, true, a.errf("%s takes no target", mnem)
+		}
+		return ppc.Inst{Op: ppc.OpBcctr, BO: bo, BI: bi, LK: link}, true, nil
+	default:
+		if len(ops) != 1 || ops[0].kind != opImm {
+			return ppc.Inst{}, true, a.errf("%s wants a target", mnem)
+		}
+		return ppc.Inst{Op: ppc.OpBc, BO: bo, BI: bi,
+			Imm: int32(ops[0].val) - int32(a.pc), LK: link}, true, nil
+	}
+}
+
+func condSuffix(s string) bool {
+	_, ok := condTable[s]
+	return ok
+}

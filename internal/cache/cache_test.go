@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mk(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDirectMappedBasics(t *testing.T) {
+	c := mk(t, Config{Name: "t", Size: 1024, Assoc: 1, Line: 64})
+	if c.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0) || !c.Access(63) {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next line must miss")
+	}
+	// 1024/64 = 16 sets: address 0 and 1024 conflict.
+	if c.Access(1024) {
+		t.Fatal("aliasing line must miss")
+	}
+	if c.Access(0) {
+		t.Fatal("direct-mapped conflict must evict")
+	}
+	if got := c.MissRate(); got != 4.0/6.0 {
+		t.Fatalf("miss rate = %v", got)
+	}
+}
+
+func TestAssociativityAndLRU(t *testing.T) {
+	// 2-way, 2 sets of 64B lines: size = 256.
+	c := mk(t, Config{Name: "t", Size: 256, Assoc: 2, Line: 64})
+	// Three conflicting lines in set 0: 0, 128, 256.
+	c.Access(0)
+	c.Access(128)
+	if !c.Access(0) {
+		t.Fatal("two-way should hold both")
+	}
+	c.Access(256) // evicts 128 (LRU)
+	if !c.Access(0) {
+		t.Fatal("0 was MRU, must survive")
+	}
+	if c.Access(128) {
+		t.Fatal("128 must have been evicted")
+	}
+}
+
+func TestAccessRangeStraddle(t *testing.T) {
+	c := mk(t, Config{Name: "t", Size: 1024, Assoc: 1, Line: 64})
+	if m := c.AccessRange(60, 8); m != 2 {
+		t.Fatalf("straddling access should miss both lines, got %d", m)
+	}
+	if m := c.AccessRange(60, 8); m != 0 {
+		t.Fatalf("second access should hit, got %d", m)
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Size: 1024, Assoc: 1, Line: 60},
+		{Size: 1024, Assoc: 0, Line: 64},
+		{Size: 192, Assoc: 1, Line: 64}, // 3 sets: not a power of two
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := PaperHierarchyA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: miss everywhere -> memory latency.
+	if lat := h.DataAccess(0x1000, 4, false); lat != 88 {
+		t.Fatalf("cold access latency = %d", lat)
+	}
+	// Warm: L1 hit, zero latency.
+	if lat := h.DataAccess(0x1000, 4, false); lat != 0 {
+		t.Fatalf("warm access latency = %d", lat)
+	}
+	if h.LoadMisses != 1 {
+		t.Fatalf("load misses = %d", h.LoadMisses)
+	}
+	// Evict from 64K 4-way L1 but not from 4M L2: walk 128K of lines.
+	for a := uint32(0); a < 128<<10; a += 256 {
+		h.DataAccess(0x100000+a, 4, false)
+	}
+	if lat := h.DataAccess(0x1000, 4, false); lat != 12 {
+		t.Fatalf("L2 hit latency = %d", lat)
+	}
+	// Instruction side is independent of data L1.
+	if lat := h.Fetch(0x2000, 16); lat != 88 {
+		t.Fatalf("cold fetch = %d", lat)
+	}
+	if lat := h.Fetch(0x2000, 16); lat != 0 {
+		t.Fatalf("warm fetch = %d", lat)
+	}
+	if h.FetchMisses != 1 {
+		t.Fatalf("fetch misses = %d", h.FetchMisses)
+	}
+}
+
+func TestHierarchyB(t *testing.T) {
+	h, err := PaperHierarchyB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := h.DataAccess(0, 4, true); lat != 92 {
+		t.Fatalf("cold = %d", lat)
+	}
+	if h.StoreMisses != 1 {
+		t.Fatal("store miss not counted")
+	}
+	if lat := h.DataAccess(0, 4, false); lat != 0 {
+		t.Fatalf("L1 hit = %d", lat)
+	}
+	// Push 0 out of the 4K L1 but keep it in the 64K L2.
+	for a := uint32(0); a < 8<<10; a += 64 {
+		h.DataAccess(0x40000+a, 4, false)
+	}
+	if lat := h.DataAccess(0, 4, false); lat != 4 {
+		t.Fatalf("L2 hit = %d", lat)
+	}
+}
+
+// TestMissRateMonotone: a bigger cache never has more misses on the same
+// trace (with identical line size and full associativity growth).
+func TestMissRateMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trace := make([]uint32, 20000)
+	for i := range trace {
+		// Zipf-ish: mostly small working set, occasional far access.
+		if rng.Intn(10) == 0 {
+			trace[i] = rng.Uint32() % (1 << 20)
+		} else {
+			trace[i] = rng.Uint32() % (16 << 10)
+		}
+	}
+	small := mk(t, Config{Name: "s", Size: 8 << 10, Assoc: 8, Line: 64})
+	big := mk(t, Config{Name: "b", Size: 64 << 10, Assoc: 8, Line: 64})
+	for _, a := range trace {
+		small.Access(a)
+		big.Access(a)
+	}
+	if big.Misses > small.Misses {
+		t.Fatalf("bigger cache missed more: %d > %d", big.Misses, small.Misses)
+	}
+	if small.MissRate() <= 0 || small.MissRate() >= 1 {
+		t.Fatalf("implausible miss rate %v", small.MissRate())
+	}
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"daisy/internal/asm"
+	"daisy/internal/mem"
+	"daisy/internal/vliw"
+)
+
+func translate(t *testing.T, src string, opt Options) (*vliw.Group, *Translator) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 20)
+	if err := prog.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	tr := New(m, opt)
+	g, _, err := tr.TranslateGroup(prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+// TestFigure22 translates the paper's Figure 2.2 fragment and checks the
+// structural properties the paper highlights: the xor is executed
+// speculatively (renamed) in the first VLIW ahead of the bc that precedes
+// it in program order, a commit copies it to r4 later, and the whole
+// 11-instruction fragment fits in a handful of tree instructions.
+func TestFigure22(t *testing.T) {
+	src := `
+	.org 0x1000
+_start:	add   r1, r2, r3
+	bc    12, 2, L1
+	slwi  r12, r1, 3
+	xor   r4, r5, r6
+	and   r8, r4, r7
+	bc    12, 6, L2
+	b     0x2000
+L1:	subf  r9, r11, r10
+	b     0x2004
+L2:	cntlzw r11, r4
+	b     0x2008
+`
+	g, _ := translate(t, src, DefaultOptions())
+	if len(g.VLIWs) > 4 {
+		t.Errorf("fragment needs %d VLIWs; the paper uses 2 (small is expected)", len(g.VLIWs))
+	}
+
+	// Find the speculative xor: renamed destination, ahead of its
+	// program position.
+	var specXor *vliw.Parcel
+	var xorVLIW int
+	for i, v := range g.VLIWs {
+		v.Walk(func(n *vliw.Node) {
+			for k := range n.Ops {
+				p := &n.Ops[k]
+				if p.Op == vliw.PXor && p.Spec {
+					specXor = p
+					xorVLIW = i
+				}
+			}
+		})
+	}
+	if specXor == nil {
+		t.Fatal("xor was not speculated into a rename register")
+	}
+	if specXor.D.Arch() {
+		t.Fatalf("speculative xor wrote architected %v", specXor.D)
+	}
+	if xorVLIW != 0 {
+		t.Errorf("xor scheduled in VLIW %d; the paper moves it into VLIW1", xorVLIW)
+	}
+
+	// Its commit copies the rename to r4.
+	found := false
+	for _, v := range g.VLIWs {
+		v.Walk(func(n *vliw.Node) {
+			for _, p := range n.Ops {
+				if p.Op == vliw.PCopy && p.D == vliw.GPR(4) && p.A == specXor.D {
+					found = true
+				}
+			}
+		})
+	}
+	if !found {
+		t.Error("no commit copy rename -> r4")
+	}
+
+	// The cntlzw (instruction 10) must read the renamed xor result, not
+	// wait for the commit (the paper's key point).
+	for _, v := range g.VLIWs {
+		v.Walk(func(n *vliw.Node) {
+			for _, p := range n.Ops {
+				if p.Op == vliw.PCntlzw && p.A != specXor.D && p.A != vliw.GPR(4) {
+					t.Errorf("cntlzw reads %v, expected the rename %v or r4", p.A, specXor.D)
+				}
+			}
+		})
+	}
+
+	// All three exits are off-page.
+	off := 0
+	for _, v := range g.VLIWs {
+		v.Walk(func(n *vliw.Node) {
+			if n.Leaf() && n.Exit.Kind == vliw.ExitOffpage {
+				off++
+			}
+		})
+	}
+	if off != 3 {
+		t.Errorf("expected 3 off-page exits, found %d", off)
+	}
+}
+
+// checkInvariants verifies structural invariants on a translated group.
+func checkInvariants(t *testing.T, g *vliw.Group, cfg vliw.Config) {
+	t.Helper()
+	for _, v := range g.VLIWs {
+		// Recount resources from the parcels and compare against both
+		// the recorded counts and the configuration's bounds.
+		alu, memOps, brs := 0, 0, 0
+		v.Walk(func(n *vliw.Node) {
+			for _, p := range n.Ops {
+				switch {
+				case p.Op == vliw.PNop:
+				case p.Op.IsMem():
+					memOps++
+				default:
+					alu++
+				}
+			}
+			if !n.Leaf() {
+				brs++
+				if n.Taken == nil || n.Fall == nil {
+					t.Fatalf("VLIW%d: condition with missing child", v.ID)
+				}
+			} else if n.Exit.Kind == vliw.ExitNext && n.Exit.Next == nil {
+				t.Fatalf("VLIW%d: dangling ExitNext", v.ID)
+			}
+		})
+		if alu != v.NALU || memOps != v.NMem || brs != v.NBr {
+			t.Fatalf("VLIW%d: recorded resources (%d,%d,%d) != actual (%d,%d,%d)",
+				v.ID, v.NALU, v.NMem, v.NBr, alu, memOps, brs)
+		}
+		if alu > cfg.ALU || memOps > cfg.Mem || alu+memOps > cfg.Issue || brs > cfg.Branch {
+			t.Fatalf("VLIW%d exceeds %s: alu=%d mem=%d br=%d", v.ID, cfg.Name, alu, memOps, brs)
+		}
+	}
+	// The binary encoding must round-trip.
+	enc, err := vliw.EncodeGroup(g)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := vliw.DecodeGroup(enc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestInvariantsOnStructuredPrograms(t *testing.T) {
+	srcs := []string{
+		`
+_start:	li r3, 100
+	mtctr r3
+loop:	addi r4, r4, 1
+	mullw r5, r4, r4
+	cmpwi r5, 50
+	blt low
+	subf r6, r4, r5
+low:	bdnz loop
+	li r0, 0
+	sc
+`, `
+_start:	lis r1, 0x8
+	li r3, 10
+a:	stw r3, 0(r1)
+	lwz r4, 0(r1)
+	lwzu r5, 4(r1)
+	stwu r4, 8(r1)
+	addic. r3, r3, -1
+	bne a
+	li r0, 0
+	sc
+`, `
+_start:	bl f
+	bl f
+	li r0, 0
+	sc
+f:	addi r3, r3, 1
+	blr
+`,
+	}
+	for _, cfg := range []vliw.Config{vliw.BigConfig, vliw.Configs[0], vliw.EightIssueConfig} {
+		for i, src := range srcs {
+			opt := DefaultOptions()
+			opt.Config = cfg
+			g, _ := translate(t, src, opt)
+			t.Run(fmt.Sprintf("%s-%d", cfg.Name, i), func(t *testing.T) {
+				checkInvariants(t, g, cfg)
+			})
+		}
+	}
+}
+
+// TestInvariantsOnRandomWords feeds the translator pages of random bits:
+// it must never panic, never exceed resources, and stop cleanly at
+// whatever garbage decodes as illegal or indirect.
+func TestInvariantsOnRandomWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		m := mem.New(1 << 16)
+		for a := uint32(0); a < 4096; a += 4 {
+			_ = m.Write32(a, rng.Uint32())
+		}
+		for _, cfg := range []vliw.Config{vliw.BigConfig, vliw.Configs[0]} {
+			opt := DefaultOptions()
+			opt.Config = cfg
+			tr := New(m, opt)
+			g, _, err := tr.TranslateGroup(0)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			checkInvariants(t, g, cfg)
+		}
+	}
+}
+
+// TestWorklistDiscovery: exits at stopping points report same-page entry
+// addresses, and TranslatePage translates all of them eagerly.
+func TestWorklistDiscovery(t *testing.T) {
+	prog, err := asm.Assemble(`
+_start:	li r3, 1000
+	mtctr r3
+loop:	addi r4, r4, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 16)
+	_ = prog.Load(m)
+	tr := New(m, DefaultOptions())
+	g, work, err := tr.TranslateGroup(prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(work) == 0 {
+		t.Fatal("unrolled loop must discover the loop header as an entry")
+	}
+	if g.Entry != prog.Entry() {
+		t.Fatal("entry mismatch")
+	}
+	pt, err := tr.TranslatePage(prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range work {
+		if _, ok := pt.Groups[w]; !ok {
+			t.Errorf("worklist entry %#x not translated by TranslatePage", w)
+		}
+	}
+	if pt.CodeBytes == 0 {
+		t.Fatal("no code accounted")
+	}
+	if pt.VirtBase() != VLIWBase+pt.Base*CodeExpansion {
+		t.Fatal("translated-code-area address mapping")
+	}
+}
+
+// TestEntryBaseAlwaysSet: every VLIW's rollback point must be a plausible
+// address within the page (the precise-exception anchor).
+func TestEntryBaseAlwaysSet(t *testing.T) {
+	g, _ := translate(t, `
+	.org 0x3000
+_start:	li r3, 50
+	mtctr r3
+loop:	addi r4, r4, 3
+	cmpwi r4, 75
+	bne skip
+	xor r5, r5, r4
+skip:	bdnz loop
+	li r0, 0
+	sc
+`, DefaultOptions())
+	for _, v := range g.VLIWs {
+		if v.EntryBase < 0x3000 || v.EntryBase >= 0x4000 {
+			t.Errorf("VLIW%d EntryBase %#x outside the page", v.ID, v.EntryBase)
+		}
+		if v.EntryBase%4 != 0 {
+			t.Errorf("VLIW%d EntryBase %#x misaligned", v.ID, v.EntryBase)
+		}
+	}
+}
+
+// TestWindowThrottle: tiny windows must close paths and enqueue
+// continuation entries rather than growing without bound.
+func TestWindowThrottle(t *testing.T) {
+	var src = "_start:\n"
+	for i := 0; i < 200; i++ {
+		src += fmt.Sprintf("\taddi r3, r3, %d\n", i%7)
+	}
+	src += "\tli r0, 0\n\tsc\n"
+	opt := DefaultOptions()
+	opt.Window = 10
+	g, work, err := func() (*vliw.Group, []uint32, error) {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := mem.New(1 << 16)
+		_ = prog.Load(m)
+		tr := New(m, opt)
+		return tr.TranslateGroup(prog.Entry())
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BaseInsts > 0 {
+		t.Log("scheduled", g.BaseInsts)
+	}
+	if len(work) == 0 {
+		t.Fatal("window throttle should have produced continuation entries")
+	}
+	if got := g.Parcels; got > 40 {
+		t.Errorf("window 10 produced %d parcels in one group", got)
+	}
+}
+
+// TestProfileGuidedProbabilities: with a profile saying a branch is always
+// taken, the taken path is scheduled first (more operations land early).
+func TestProfileGuidedProbabilities(t *testing.T) {
+	src := `
+	.org 0x100
+_start:	cmpwi r3, 0
+	beq taken
+	addi r4, r4, 1
+	b out1
+taken:	addi r5, r5, 1
+	addi r5, r5, 2
+	addi r5, r5, 3
+out1:	li r0, 0
+	sc
+`
+	prog, _ := asm.Assemble(src)
+	m := mem.New(1 << 16)
+	_ = prog.Load(m)
+
+	opt := DefaultOptions()
+	opt.ProfileProb = func(pc uint32) (float64, bool) { return 0.99, true }
+	tr := New(m, opt)
+	g, _, err := tr.TranslateGroup(prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The profile must at least be consulted without breaking anything.
+	checkInvariants(t, g, opt.Config)
+}
+
+func TestTranslationCostCounters(t *testing.T) {
+	_, tr := translate(t, `
+_start:	li r3, 10
+	mtctr r3
+l:	addi r4, r4, 1
+	bdnz l
+	li r0, 0
+	sc
+`, DefaultOptions())
+	s := tr.Stats
+	if s.WorkUnits == 0 || s.Parcels == 0 || s.BaseInsts == 0 || s.PathClones == 0 {
+		t.Fatalf("cost counters not maintained: %+v", s)
+	}
+	if s.WorkUnits < s.BaseInsts {
+		t.Fatal("work units should dominate scheduled instructions")
+	}
+}

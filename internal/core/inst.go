@@ -1,0 +1,533 @@
+package core
+
+import (
+	"daisy/internal/ppc"
+	"daisy/internal/vliw"
+)
+
+// scheduleInst cracks one base instruction into RISC primitives and places
+// them (DecodeAndScheduleOneInstr's dispatch, Figure A.2). On return the
+// path either has a new continuation or has been closed.
+func (c *groupCtx) scheduleInst(p *path, addr uint32, in ppc.Inst) error {
+	next := addr + 4
+
+	switch in.Op {
+	case ppc.OpIllegal:
+		// Fall back to interpretation; the interpreter raises the
+		// program exception precisely.
+		p.close(vliw.Exit{Kind: vliw.ExitInterp, Target: addr})
+		return nil
+
+	case ppc.OpSc:
+		p.emitNop(addr)
+		p.close(vliw.Exit{Kind: vliw.ExitSyscall, Target: next})
+		return nil
+
+	case ppc.OpSync:
+		// Strongly consistent memory: sync only fences the scheduler.
+		p.lastStore = p.last()
+		p.emitNop(addr)
+
+	case ppc.OpB, ppc.OpBc, ppc.OpBclr, ppc.OpBcctr:
+		return c.scheduleBranch(p, addr, in)
+
+	case ppc.OpAddi, ppc.OpAddis:
+		prim := vliw.PAddI
+		shift := uint32(0)
+		if in.Op == ppc.OpAddis {
+			prim, shift = vliw.PAddIS, 16
+		}
+		ra, imm := in.RA, in.Imm
+		var cm *vliw.Parcel
+		var ready int
+		if ra == 0 {
+			li := vliw.PLI
+			if in.Op == ppc.OpAddis {
+				li = vliw.PLIS
+			}
+			cm, ready = p.scheduleGPROp(uint8(in.RT), 0, false, func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: li, D: d, Imm: imm}
+			}, addr)
+			p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
+			p.setConst(uint8(in.RT), uint32(imm)<<shift)
+			return c.fallthrough_(p, next)
+		}
+		kc := p.gprConst[ra]
+		cm, ready = p.scheduleGPROp(uint8(in.RT), p.availGPR(uint8(ra)), false, func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(ra), i), Imm: imm}
+		}, addr)
+		p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
+		if kc.known {
+			p.setConst(uint8(in.RT), kc.val+uint32(imm)<<shift)
+		}
+
+	case ppc.OpAddic, ppc.OpAddicRC:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, true)
+		}
+		c.simpleGPR(p, addr, uint8(in.RT), p.availGPR(uint8(in.RA)), true,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PAddIC, D: d, A: p.nameOfGPR(uint8(in.RA), i), Imm: in.Imm}
+			})
+
+	case ppc.OpSubfic:
+		c.simpleGPR(p, addr, uint8(in.RT), p.availGPR(uint8(in.RA)), true,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PSubfIC, D: d, A: p.nameOfGPR(uint8(in.RA), i), Imm: in.Imm}
+			})
+
+	case ppc.OpMulli:
+		c.simpleGPR(p, addr, uint8(in.RT), p.availGPR(uint8(in.RA)), false,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PMulI, D: d, A: p.nameOfGPR(uint8(in.RA), i), Imm: in.Imm}
+			})
+
+	case ppc.OpCmpi, ppc.OpCmpli:
+		prim := vliw.PCmpI
+		if in.Op == ppc.OpCmpli {
+			prim = vliw.PCmpLI
+		}
+		cm, ready := p.scheduleCROp(in.CRF, p.availGPR(uint8(in.RA)),
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(in.RA), i), Imm: in.Imm}
+			}, addr)
+		p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
+
+	case ppc.OpCmp, ppc.OpCmpl:
+		prim := vliw.PCmp
+		if in.Op == ppc.OpCmpl {
+			prim = vliw.PCmpL
+		}
+		earliest := max(p.availGPR(uint8(in.RA)), p.availGPR(uint8(in.RB)))
+		cm, ready := p.scheduleCROp(in.CRF, earliest,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: prim, D: d,
+					A: p.nameOfGPR(uint8(in.RA), i), B: p.nameOfGPR(uint8(in.RB), i)}
+			}, addr)
+		p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
+
+	case ppc.OpOri, ppc.OpOris, ppc.OpXori, ppc.OpXoris:
+		prim := map[ppc.Opcode]vliw.Prim{
+			ppc.OpOri: vliw.POrI, ppc.OpOris: vliw.POrIS,
+			ppc.OpXori: vliw.PXorI, ppc.OpXoris: vliw.PXorIS,
+		}[in.Op]
+		src := uint8(in.RT) // logical D-forms: source in RT, dest in RA
+		dst := uint8(in.RA)
+		kc := p.gprConst[src]
+		c.simpleGPR(p, addr, dst, p.availGPR(src), false,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(src, i), Imm: in.Imm}
+			})
+		if kc.known && in.Op == ppc.OpOri {
+			p.setConst(dst, kc.val|uint32(in.Imm)&0xffff)
+		}
+
+	case ppc.OpAndiRC, ppc.OpAndisRC:
+		return c.scheduleRecorded(p, addr, in, false)
+
+	case ppc.OpAdd, ppc.OpAddc, ppc.OpAdde, ppc.OpSubf, ppc.OpSubfc, ppc.OpSubfe,
+		ppc.OpMullw, ppc.OpMulhwu, ppc.OpDivw, ppc.OpDivwu:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		c.scheduleArith(p, addr, in)
+
+	case ppc.OpNeg:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		c.simpleGPR(p, addr, uint8(in.RT), p.availGPR(uint8(in.RA)), false,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PNeg, D: d, A: p.nameOfGPR(uint8(in.RA), i)}
+			})
+
+	case ppc.OpAnd, ppc.OpAndc, ppc.OpOr, ppc.OpNor, ppc.OpXor, ppc.OpNand,
+		ppc.OpSlw, ppc.OpSrw, ppc.OpSraw:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		c.scheduleLogic(p, addr, in)
+
+	case ppc.OpSrawi:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		c.simpleGPR(p, addr, uint8(in.RA), p.availGPR(uint8(in.RT)), true,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PSrawI, D: d, A: p.nameOfGPR(uint8(in.RT), i), SH: in.SH}
+			})
+
+	case ppc.OpCntlzw, ppc.OpExtsb, ppc.OpExtsh:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		prim := map[ppc.Opcode]vliw.Prim{
+			ppc.OpCntlzw: vliw.PCntlzw, ppc.OpExtsb: vliw.PExtsb, ppc.OpExtsh: vliw.PExtsh,
+		}[in.Op]
+		c.simpleGPR(p, addr, uint8(in.RA), p.availGPR(uint8(in.RT)), false,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(in.RT), i)}
+			})
+
+	case ppc.OpRlwinm:
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		c.simpleGPR(p, addr, uint8(in.RA), p.availGPR(uint8(in.RT)), false,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PRlwinm, D: d, A: p.nameOfGPR(uint8(in.RT), i),
+					SH: in.SH, MB: in.MB, ME: in.ME}
+			})
+
+	case ppc.OpRlwimi:
+		// Read-modify-write: the old destination value is a source.
+		if in.Rc {
+			return c.scheduleRecorded(p, addr, in, false)
+		}
+		earliest := max(p.availGPR(uint8(in.RT)), p.availGPR(uint8(in.RA)))
+		c.simpleGPR(p, addr, uint8(in.RA), earliest, false,
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PRlwimi, D: d, A: p.nameOfGPR(uint8(in.RT), i),
+					B: p.nameOfGPR(uint8(in.RA), i), SH: in.SH, MB: in.MB, ME: in.ME}
+			})
+
+	case ppc.OpCrand, ppc.OpCror, ppc.OpCrxor, ppc.OpCrnand, ppc.OpCrnor:
+		c.scheduleCrLogic(p, addr, in)
+
+	case ppc.OpMcrf:
+		cm, ready := p.scheduleCROp(in.CRF, p.crAvail[in.CRFA],
+			func(i int, d vliw.RegRef) vliw.Parcel {
+				return vliw.Parcel{Op: vliw.PMcrf, D: d, A: p.nameOfCR(in.CRFA, i)}
+			}, addr)
+		p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
+
+	case ppc.OpMfcr:
+		// Reads every architected field: wait for all their commits.
+		p.flushDeferredCommits()
+		allCR := 0
+		for f := 0; f < 8; f++ {
+			allCR = max(allCR, p.crArchAvail[f])
+		}
+		p.ensureIndex(allCR, addr)
+		p.ensureRoomALU(1, addr)
+		i := p.last()
+		p.emit(i, vliw.Parcel{Op: vliw.PMfcr, D: vliw.GPR(uint8(in.RT)),
+			BaseAddr: addr, EndsInst: true})
+		p.vs[i].gmap[in.RT] = nil
+		p.gprAvail[in.RT] = i + 1
+		p.bumpVer(uint8(in.RT))
+
+	case ppc.OpMtcrf:
+		p.flushDeferredCommits()
+		p.ensureIndex(max(p.lastCmt+1, p.availGPR(uint8(in.RT))), addr)
+		p.ensureRoomALU(1, addr)
+		i := p.last()
+		p.emit(i, vliw.Parcel{Op: vliw.PMtcrf, A: p.nameOfGPR(uint8(in.RT), i),
+			FXM: in.FXM, BaseAddr: addr, EndsInst: true})
+		for f := uint8(0); f < 8; f++ {
+			if in.FXM&(0x80>>f) != 0 {
+				p.vs[i].cmap[f] = nil
+				p.crAvail[f] = i + 1
+				p.crArchAvail[f] = i + 1
+			}
+		}
+
+	case ppc.OpMfspr, ppc.OpMtspr:
+		return c.scheduleSPR(p, addr, in)
+
+	case ppc.OpLwz, ppc.OpLbz, ppc.OpLhz, ppc.OpLha,
+		ppc.OpLwzx, ppc.OpLbzx, ppc.OpLhzx:
+		c.scheduleLoad(p, addr, in)
+
+	case ppc.OpLwzu, ppc.OpLbzu, ppc.OpLhzu:
+		return c.scheduleLoadUpdate(p, addr, in)
+
+	case ppc.OpStw, ppc.OpStb, ppc.OpSth, ppc.OpStwx, ppc.OpStbx, ppc.OpSthx:
+		c.scheduleStore(p, addr, in)
+
+	case ppc.OpStwu, ppc.OpStbu, ppc.OpSthu:
+		return c.scheduleStoreUpdate(p, addr, in)
+
+	case ppc.OpLmw, ppc.OpStmw:
+		c.scheduleMultiple(p, addr, in)
+
+	default:
+		p.close(vliw.Exit{Kind: vliw.ExitInterp, Target: addr})
+		return nil
+	}
+
+	return c.fallthrough_(p, next)
+}
+
+// fallthrough_ advances the path to the next sequential instruction.
+func (c *groupCtx) fallthrough_(p *path, next uint32) error {
+	p.cont = next
+	return nil
+}
+
+// simpleGPR schedules a one-primitive, one-destination instruction and
+// places its commit.
+func (c *groupCtx) simpleGPR(p *path, addr uint32, dest uint8, earliest int, carry bool, mk mkParcel) {
+	cm, ready := p.scheduleGPROp(dest, earliest, carry, mk, addr)
+	p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
+}
+
+func (p *path) setConst(r uint8, v uint32) {
+	p.gprConst[r] = constVal{known: true, val: v}
+}
+
+// scheduleArith handles XO-form arithmetic (destination in RT).
+func (c *groupCtx) scheduleArith(p *path, addr uint32, in ppc.Inst) {
+	prim := map[ppc.Opcode]vliw.Prim{
+		ppc.OpAdd: vliw.PAdd, ppc.OpAddc: vliw.PAddC, ppc.OpAdde: vliw.PAddE,
+		ppc.OpSubf: vliw.PSubf, ppc.OpSubfc: vliw.PSubfC, ppc.OpSubfe: vliw.PSubfE,
+		ppc.OpMullw: vliw.PMullw, ppc.OpMulhwu: vliw.PMulhwu,
+		ppc.OpDivw: vliw.PDivw, ppc.OpDivwu: vliw.PDivwu,
+	}[in.Op]
+	carry := false
+	earliest := max(p.availGPR(uint8(in.RA)), p.availGPR(uint8(in.RB)))
+	switch in.Op {
+	case ppc.OpAddc, ppc.OpSubfc:
+		carry = true
+	case ppc.OpAdde, ppc.OpSubfe:
+		// Carry consumers read the committed XER CA bit (carry chains
+		// serialize on commits; see DESIGN.md).
+		carry = true
+		earliest = max(earliest, p.caAvail)
+	}
+	c.simpleGPR(p, addr, uint8(in.RT), earliest, carry,
+		func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: prim, D: d,
+				A: p.nameOfGPR(uint8(in.RA), i), B: p.nameOfGPR(uint8(in.RB), i)}
+		})
+}
+
+// scheduleLogic handles X-form logicals and shifts (destination in RA,
+// source in RT).
+func (c *groupCtx) scheduleLogic(p *path, addr uint32, in ppc.Inst) {
+	prim := map[ppc.Opcode]vliw.Prim{
+		ppc.OpAnd: vliw.PAnd, ppc.OpAndc: vliw.PAndc, ppc.OpOr: vliw.POr,
+		ppc.OpNor: vliw.PNor, ppc.OpXor: vliw.PXor, ppc.OpNand: vliw.PNand,
+		ppc.OpSlw: vliw.PSlw, ppc.OpSrw: vliw.PSrw, ppc.OpSraw: vliw.PSraw,
+	}[in.Op]
+	carry := in.Op == ppc.OpSraw
+	earliest := max(p.availGPR(uint8(in.RT)), p.availGPR(uint8(in.RB)))
+	c.simpleGPR(p, addr, uint8(in.RA), earliest, carry,
+		func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: prim, D: d,
+				A: p.nameOfGPR(uint8(in.RT), i), B: p.nameOfGPR(uint8(in.RB), i)}
+		})
+}
+
+// scheduleRecorded handles record-form instructions (two architected
+// writes: the value and cr0). Both compute into renames and commit
+// atomically; if the rename pools are exhausted the path is closed so a
+// fresh group (with free pools) restarts at this instruction.
+func (c *groupCtx) scheduleRecorded(p *path, addr uint32, in ppc.Inst, carry bool) error {
+	if p.freeRenameGPR(p.last()).Kind == vliw.RNone ||
+		p.freeRenameCR(p.last()).Kind == vliw.RNone {
+		p.closeToEntry(addr)
+		return nil
+	}
+
+	var dest uint8
+	var earliest int
+	var mk mkParcel
+	switch in.Op {
+	case ppc.OpAddicRC:
+		dest, earliest = uint8(in.RT), p.availGPR(uint8(in.RA))
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: vliw.PAddIC, D: d, A: p.nameOfGPR(uint8(in.RA), i), Imm: in.Imm}
+		}
+	case ppc.OpAndiRC, ppc.OpAndisRC:
+		prim := vliw.PAndI
+		if in.Op == ppc.OpAndisRC {
+			prim = vliw.PAndIS
+		}
+		dest, earliest = uint8(in.RA), p.availGPR(uint8(in.RT))
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(in.RT), i), Imm: in.Imm}
+		}
+	case ppc.OpAdd, ppc.OpAddc, ppc.OpAdde, ppc.OpSubf, ppc.OpSubfc, ppc.OpSubfe,
+		ppc.OpMullw, ppc.OpMulhwu, ppc.OpDivw, ppc.OpDivwu:
+		prim := map[ppc.Opcode]vliw.Prim{
+			ppc.OpAdd: vliw.PAdd, ppc.OpAddc: vliw.PAddC, ppc.OpAdde: vliw.PAddE,
+			ppc.OpSubf: vliw.PSubf, ppc.OpSubfc: vliw.PSubfC, ppc.OpSubfe: vliw.PSubfE,
+			ppc.OpMullw: vliw.PMullw, ppc.OpMulhwu: vliw.PMulhwu,
+			ppc.OpDivw: vliw.PDivw, ppc.OpDivwu: vliw.PDivwu,
+		}[in.Op]
+		dest = uint8(in.RT)
+		earliest = max(p.availGPR(uint8(in.RA)), p.availGPR(uint8(in.RB)))
+		switch in.Op {
+		case ppc.OpAddc, ppc.OpSubfc:
+			carry = true
+		case ppc.OpAdde, ppc.OpSubfe:
+			carry = true
+			earliest = max(earliest, p.caAvail)
+		}
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: prim, D: d,
+				A: p.nameOfGPR(uint8(in.RA), i), B: p.nameOfGPR(uint8(in.RB), i)}
+		}
+	case ppc.OpNeg:
+		dest, earliest = uint8(in.RT), p.availGPR(uint8(in.RA))
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: vliw.PNeg, D: d, A: p.nameOfGPR(uint8(in.RA), i)}
+		}
+	case ppc.OpSrawi:
+		carry = true
+		dest, earliest = uint8(in.RA), p.availGPR(uint8(in.RT))
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: vliw.PSrawI, D: d, A: p.nameOfGPR(uint8(in.RT), i), SH: in.SH}
+		}
+	case ppc.OpRlwinm, ppc.OpRlwimi:
+		prim := vliw.PRlwinm
+		if in.Op == ppc.OpRlwimi {
+			prim = vliw.PRlwimi
+		}
+		dest = uint8(in.RA)
+		earliest = p.availGPR(uint8(in.RT))
+		if in.Op == ppc.OpRlwimi {
+			earliest = max(earliest, p.availGPR(uint8(in.RA)))
+		}
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			par := vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(in.RT), i),
+				SH: in.SH, MB: in.MB, ME: in.ME}
+			if in.Op == ppc.OpRlwimi {
+				par.B = p.nameOfGPR(uint8(in.RA), i)
+			}
+			return par
+		}
+	default:
+		prim := map[ppc.Opcode]vliw.Prim{
+			ppc.OpAnd: vliw.PAnd, ppc.OpAndc: vliw.PAndc, ppc.OpOr: vliw.POr,
+			ppc.OpNor: vliw.PNor, ppc.OpXor: vliw.PXor, ppc.OpNand: vliw.PNand,
+			ppc.OpSlw: vliw.PSlw, ppc.OpSrw: vliw.PSrw, ppc.OpSraw: vliw.PSraw,
+			ppc.OpCntlzw: vliw.PCntlzw, ppc.OpExtsb: vliw.PExtsb, ppc.OpExtsh: vliw.PExtsh,
+		}[in.Op]
+		carry = in.Op == ppc.OpSraw
+		dest = uint8(in.RA)
+		earliest = p.availGPR(uint8(in.RT))
+		withB := in.Op != ppc.OpCntlzw && in.Op != ppc.OpExtsb && in.Op != ppc.OpExtsh
+		if withB {
+			earliest = max(earliest, p.availGPR(uint8(in.RB)))
+		}
+		mk = func(i int, d vliw.RegRef) vliw.Parcel {
+			par := vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(in.RT), i)}
+			if withB {
+				par.B = p.nameOfGPR(uint8(in.RB), i)
+			}
+			return par
+		}
+	}
+
+	cmVal, readyVal, ok := p.renameGPR(dest, earliest, carry, mk, addr)
+	if !ok {
+		p.closeToEntry(addr)
+		return nil
+	}
+	cmCR, readyCR, ok := p.renameCR(0, readyVal, func(i int, d vliw.RegRef) vliw.Parcel {
+		return vliw.Parcel{Op: vliw.PCmpI, D: d, A: p.nameOfGPR(dest, i), Imm: 0}
+	}, addr)
+	if !ok {
+		// The value rename is already placed; commit it alone and stop
+		// before the CR half so a fresh group redoes the instruction.
+		p.closeToEntry(addr)
+		return nil
+	}
+	p.placeCommits([]*vliw.Parcel{cmVal, cmCR}, max(readyVal, readyCR), addr)
+	return c.fallthrough_(p, p.cont+4)
+}
+
+// scheduleCrLogic places a condition-register bit operation. The
+// destination field is read-modify-write, so it is a source as well.
+func (c *groupCtx) scheduleCrLogic(p *path, addr uint32, in ppc.Inst) {
+	prim := map[ppc.Opcode]vliw.Prim{
+		ppc.OpCrand: vliw.PCrand, ppc.OpCror: vliw.PCror, ppc.OpCrxor: vliw.PCrxor,
+		ppc.OpCrnand: vliw.PCrnand, ppc.OpCrnor: vliw.PCrnor,
+	}[in.Op]
+	fd, bd := uint8(in.RT)/4, uint8(in.RT)%4
+	fa, ba := uint8(in.RA)/4, uint8(in.RA)%4
+	fb, bb := uint8(in.RB)/4, uint8(in.RB)%4
+	// The destination field is read-modify-written through its
+	// architected home, so its pending rename (if any) must be committed
+	// and the op placed after that commit.
+	p.flushDeferredCommits()
+	earliest := max(p.crArchAvail[fd], max(p.crAvail[fa], p.crAvail[fb]))
+	p.ensureIndex(earliest, addr)
+	p.ensureRoomALU(1, addr)
+	i := p.last()
+	p.emit(i, vliw.Parcel{Op: prim, D: vliw.CRF(fd), A: p.nameOfCR(fa, i), B: p.nameOfCR(fb, i),
+		BD: bd, BA: ba, BB: bb, BaseAddr: addr, EndsInst: true})
+	p.vs[i].cmap[fd] = nil
+	p.crAvail[fd] = i + 1
+	p.crArchAvail[fd] = i + 1
+}
+
+// scheduleSPR handles mfspr/mtspr for LR, CTR and XER.
+func (c *groupCtx) scheduleSPR(p *path, addr uint32, in ppc.Inst) error {
+	rd := uint8(in.RT)
+	switch {
+	case in.Op == ppc.OpMfspr && in.SPR == ppc.SprLR:
+		c.simpleGPR(p, addr, rd, p.lrAvail, false, func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: vliw.PCopy, D: d, A: vliw.LR}
+		})
+		if p.lrKnown {
+			p.setConst(rd, p.lrVal)
+		}
+	case in.Op == ppc.OpMfspr && in.SPR == ppc.SprCTR:
+		c.simpleGPR(p, addr, rd, p.ctrAvail, false, func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: vliw.PCopy, D: d, A: p.nameOfCTR(i)}
+		})
+		if p.ctrKnown {
+			p.setConst(rd, p.ctrVal)
+		}
+	case in.Op == ppc.OpMfspr && in.SPR == ppc.SprXER:
+		c.simpleGPR(p, addr, rd, max(p.caAvail, p.lastCmt), false, func(i int, d vliw.RegRef) vliw.Parcel {
+			return vliw.Parcel{Op: vliw.PCopy, D: d, A: vliw.XER}
+		})
+	case in.Op == ppc.OpMtspr && in.SPR == ppc.SprLR:
+		p.ensureIndex(p.availGPR(rd), addr)
+		p.ensureRoomALU(1, addr)
+		i := p.last()
+		p.emit(i, vliw.Parcel{Op: vliw.PCopy, D: vliw.LR, A: p.nameOfGPR(rd, i),
+			BaseAddr: addr, EndsInst: true})
+		p.lrAvail = i + 1
+		if kc := p.gprConst[rd]; kc.known {
+			p.lrKnown, p.lrVal = true, kc.val
+		} else {
+			p.lrKnown = false
+		}
+	case in.Op == ppc.OpMtspr && in.SPR == ppc.SprCTR:
+		p.ensureIndex(p.availGPR(rd), addr)
+		p.ensureRoomALU(1, addr)
+		i := p.last()
+		p.emit(i, vliw.Parcel{Op: vliw.PCopy, D: vliw.CTR, A: p.nameOfGPR(rd, i),
+			BaseAddr: addr, EndsInst: true})
+		p.vs[i].ctr = nil
+		p.ctrAvail = i + 1
+		if kc := p.gprConst[rd]; kc.known {
+			p.ctrKnown, p.ctrVal = true, kc.val
+		} else {
+			p.ctrKnown = false
+		}
+	case in.Op == ppc.OpMtspr && in.SPR == ppc.SprXER:
+		p.ensureIndex(max(p.availGPR(rd), p.caAvail), addr)
+		p.ensureRoomALU(1, addr)
+		i := p.last()
+		p.emit(i, vliw.Parcel{Op: vliw.PCopy, D: vliw.XER, A: p.nameOfGPR(rd, i),
+			BaseAddr: addr, EndsInst: true})
+		p.caAvail = i + 1
+	default:
+		p.close(vliw.Exit{Kind: vliw.ExitInterp, Target: addr})
+		return nil
+	}
+	return c.fallthrough_(p, addr+4)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

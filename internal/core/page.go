@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"daisy/internal/vliw"
+)
+
+// VLIWBase is where the translated code area begins in VLIW virtual
+// address space (Figure 3.1).
+const VLIWBase = 0x8000_0000
+
+// CodeExpansion is N, the fixed expansion factor reserving N bytes of
+// translated code area per base-architecture byte (§3, N=4).
+const CodeExpansion = 4
+
+// PageTranslation holds every group translated for one base-architecture
+// page: the unit of translation, creation and destruction (Chapter 3).
+type PageTranslation struct {
+	Base   uint32 // base-architecture page address
+	Groups map[uint32]*vliw.Group
+
+	// CodeBytes is the total encoded VLIW code for the page (Table 5.1's
+	// "average size of translated page" and Figure 5.4).
+	CodeBytes int
+
+	nextOff uint32 // next free offset in the page's translated code area
+}
+
+// VirtBase returns the page's address in the translated code area.
+func (pt *PageTranslation) VirtBase() uint32 {
+	return VLIWBase + pt.Base*CodeExpansion
+}
+
+// EmptyPage creates a page translation shell with no groups; entries are
+// added on demand (interpretive mode translates lazily, trace by trace).
+func EmptyPage(addr, pageSize uint32) *PageTranslation {
+	return &PageTranslation{
+		Base:   addr &^ (pageSize - 1),
+		Groups: make(map[uint32]*vliw.Group),
+	}
+}
+
+// EnsureEntryGuided translates a single group at entry following a
+// recorded execution trace (Chapter 6's interpretive compilation): only
+// the executed path is compiled; branch off-sides become lazy entries.
+func (t *Translator) EnsureEntryGuided(pt *PageTranslation, entry uint32,
+	guide func(pc uint32) (bool, bool)) (*vliw.Group, error) {
+	if g, ok := pt.Groups[entry]; ok {
+		return g, nil
+	}
+	saved := t.Opt.TraceGuide
+	t.Opt.TraceGuide = guide
+	defer func() { t.Opt.TraceGuide = saved }()
+	g, _, err := t.TranslateGroup(entry)
+	if err != nil {
+		return nil, err
+	}
+	pt.Groups[entry] = g
+	t.layout(pt, g)
+	return g, nil
+}
+
+// TranslatePage creates the translation of the page containing entry,
+// eagerly following the worklist of same-page entry points discovered at
+// path exits (TranslateOneEntry, Figure 2.1).
+func (t *Translator) TranslatePage(entry uint32) (*PageTranslation, error) {
+	pt := &PageTranslation{
+		Base:   entry &^ (t.Opt.PageSize - 1),
+		Groups: make(map[uint32]*vliw.Group),
+	}
+	if _, err := t.EnsureEntry(pt, entry); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// EnsureEntry returns the group translated at entry, creating it (and any
+// same-page entries its paths exit to) on demand. This is the handler for
+// the "invalid entry point" exception of §3.4.
+func (t *Translator) EnsureEntry(pt *PageTranslation, entry uint32) (*vliw.Group, error) {
+	if g, ok := pt.Groups[entry]; ok {
+		return g, nil
+	}
+	if entry&3 != 0 {
+		return nil, fmt.Errorf("core: misaligned entry point %#x", entry)
+	}
+	work := []uint32{entry}
+	var first *vliw.Group
+	for len(work) > 0 {
+		e := work[0]
+		work = work[1:]
+		if _, ok := pt.Groups[e]; ok {
+			continue
+		}
+		g, more, err := t.TranslateGroup(e)
+		if err != nil {
+			return nil, err
+		}
+		pt.Groups[e] = g
+		t.layout(pt, g)
+		if first == nil {
+			first = g
+		}
+		work = append(work, more...)
+	}
+	if first == nil {
+		first = pt.Groups[entry]
+	}
+	return first, nil
+}
+
+// layout assigns translated-code-area addresses to the group's VLIWs: the
+// entry VLIW at offset entry*N (so cross-page branches can compute it),
+// subsequent VLIWs sequentially, spilling into the page's overflow area
+// when the fixed N-times window is exhausted (§3.4).
+func (t *Translator) layout(pt *PageTranslation, g *vliw.Group) {
+	enc, err := vliw.EncodeGroup(g)
+	size := len(enc)
+	if err != nil {
+		size = 64 * len(g.VLIWs) // should not happen; keep accounting sane
+	}
+	base := pt.VirtBase()
+	entryOff := (g.Entry - pt.Base) * CodeExpansion
+	off := entryOff
+	if off < pt.nextOff {
+		off = pt.nextOff // sequential allocation past earlier groups
+	}
+	// Distribute the encoded size across the group's VLIWs
+	// proportionally to their parcel counts for cache simulation.
+	total := 0
+	for _, v := range g.VLIWs {
+		total += v.CountParcels() + 2
+	}
+	for _, v := range g.VLIWs {
+		v.Addr = base + off
+		share := size * (v.CountParcels() + 2) / total
+		if share < 8 {
+			share = 8
+		}
+		v.Bytes = share
+		off += uint32(share)
+	}
+	pt.nextOff = off
+	pt.CodeBytes += size
+}

@@ -1,0 +1,663 @@
+package core
+
+import (
+	"math/bits"
+
+	"daisy/internal/vliw"
+)
+
+// renameRec tracks one live renaming: an architected resource whose
+// current value lives in a non-architected register until commitAt.
+type renameRec struct {
+	reg      vliw.RegRef
+	commitAt int  // VLIW index of the in-order commit; neverCommitted if pending
+	ca       bool // the rename carries a carry extender bit
+	verify   bool // the rename is a speculated load needing load-verify
+}
+
+// pvliw is a path's view of one VLIW on it: the shared VLIW, the node
+// where this path's operations at that position go, and the rename maps
+// in effect there (the per-path per-VLIW map of §A.1).
+type pvliw struct {
+	v    *vliw.VLIW
+	tip  *vliw.Node
+	gmap [32]*renameRec // architected GPR -> rename (nil: identity)
+	cmap [8]*renameRec  // architected CR field -> rename
+	ctr  *renameRec     // CTR rename (Appendix D)
+}
+
+type constVal struct {
+	known bool
+	val   uint32
+}
+
+type storeRec struct {
+	valid   bool
+	base    int // architected base register, -1 for the r0 literal zero
+	baseVer int
+	disp    int32
+	size    uint8
+	val     int // architected register whose value was stored
+	valVer  int
+}
+
+// path is one open scheduling path through the group (type T_PATH).
+type path struct {
+	c    *groupCtx
+	vs   []pvliw
+	cont uint32
+	prob float64
+
+	count     int // instructions scheduled (window budget)
+	lastStore int // highest VLIW index containing a program-earlier store
+
+	gprAvail [32]int
+	crAvail  [8]int
+	lrAvail  int
+	ctrAvail int
+	caAvail  int // earliest VLIW where the carry chain is current
+	lastCmt  int // highest VLIW index holding an architected write
+
+	lrKnown  bool
+	lrVal    uint32
+	ctrKnown bool
+	ctrVal   uint32
+	gprConst [32]constVal
+	gprVer   [32]int
+	lastSt   storeRec // most recent store, for must-alias forwarding
+
+	crArchAvail [8]int // earliest index the ARCHITECTED field is current
+
+	// scratch registers (condition-synthesis fields, staged link values)
+	// pinned busy in newly opened VLIWs until the instruction finishes.
+	scratch []vliw.RegRef
+}
+
+func newPath(c *groupCtx, cont uint32) *path {
+	return &path{c: c, cont: cont, prob: 1, lastStore: -1}
+}
+
+func (p *path) last() int      { return len(p.vs) - 1 }
+func (p *path) lastPV() *pvliw { return &p.vs[len(p.vs)-1] }
+
+// openVLIW appends a fresh VLIW to the path. entryBase is the address of
+// the base instruction being scheduled — the precise resume point if the
+// new VLIW ever rolls back.
+func (p *path) openVLIW(entryBase uint32) {
+	c := p.c
+	v := vliw.NewVLIW(len(c.g.VLIWs), entryBase)
+	c.g.VLIWs = append(c.g.VLIWs, v)
+
+	pv := pvliw{v: v, tip: v.Root}
+	idx := len(p.vs)
+	if idx > 0 {
+		prev := &p.vs[idx-1]
+		// Chain the previous tip to the new VLIW.
+		prev.tip.Exit = vliw.Exit{Kind: vliw.ExitNext, Next: v}
+		// Inherit renames that are still pending (not committed strictly
+		// before this VLIW), and mark their registers busy here.
+		for i, rec := range prev.gmap {
+			if rec != nil && rec.commitAt >= idx {
+				pv.gmap[i] = rec
+				markBusy(v, rec.reg)
+			}
+		}
+		for i, rec := range prev.cmap {
+			if rec != nil && rec.commitAt >= idx {
+				pv.cmap[i] = rec
+				markBusy(v, rec.reg)
+			}
+		}
+		if rec := prev.ctr; rec != nil && rec.commitAt >= idx {
+			pv.ctr = rec
+			markBusy(v, rec.reg)
+		}
+		for _, r := range p.scratch {
+			markBusy(v, r)
+		}
+	}
+	p.vs = append(p.vs, pv)
+}
+
+func markBusy(v *vliw.VLIW, r vliw.RegRef) {
+	switch r.Kind {
+	case vliw.RGPR:
+		if r.N >= vliw.FirstNonArchGPR {
+			v.FreeGPR &^= 1 << (r.N - vliw.FirstNonArchGPR)
+		}
+	case vliw.RCRF:
+		if r.N >= vliw.FirstNonArchCRF {
+			v.FreeCRF &^= 1 << (r.N - vliw.FirstNonArchCRF)
+		}
+	}
+}
+
+// clone duplicates the path at a conditional branch (CopyPath). Rename
+// records are deep-copied preserving aliasing across VLIW indices, so a
+// later commit on one path does not disturb the other.
+func (p *path) clone() *path {
+	p.c.t.Stats.PathClones++
+	q := *p
+	q.vs = append([]pvliw(nil), p.vs...)
+	q.scratch = append([]vliw.RegRef(nil), p.scratch...)
+	memo := make(map[*renameRec]*renameRec)
+	cp := func(r *renameRec) *renameRec {
+		if r == nil {
+			return nil
+		}
+		if n, ok := memo[r]; ok {
+			return n
+		}
+		n := new(renameRec)
+		*n = *r
+		memo[r] = n
+		return n
+	}
+	for i := range q.vs {
+		for j, rec := range q.vs[i].gmap {
+			q.vs[i].gmap[j] = cp(rec)
+		}
+		for j, rec := range q.vs[i].cmap {
+			q.vs[i].cmap[j] = cp(rec)
+		}
+		q.vs[i].ctr = cp(q.vs[i].ctr)
+	}
+	return &q
+}
+
+// nameOfGPR returns the register holding architected GPR r's value at
+// VLIW index i on this path.
+func (p *path) nameOfGPR(r uint8, i int) vliw.RegRef {
+	if rec := p.vs[i].gmap[r]; rec != nil && rec.commitAt >= i {
+		return rec.reg
+	}
+	return vliw.GPR(r)
+}
+
+// baseOrZero maps a D-form RA field: RA=0 reads as literal zero.
+func (p *path) baseOrZero(r uint8, i int) vliw.RegRef {
+	if r == 0 {
+		return vliw.None
+	}
+	return p.nameOfGPR(r, i)
+}
+
+// nameOfCR is nameOfGPR for condition fields.
+func (p *path) nameOfCR(f uint8, i int) vliw.RegRef {
+	if rec := p.vs[i].cmap[f]; rec != nil && rec.commitAt >= i {
+		return rec.reg
+	}
+	return vliw.CRF(f)
+}
+
+func (p *path) nameOfCTR(i int) vliw.RegRef {
+	if rec := p.vs[i].ctr; rec != nil && rec.commitAt >= i {
+		return rec.reg
+	}
+	return vliw.CTR
+}
+
+// availGPR returns the earliest index an op reading GPR r can occupy.
+func (p *path) availGPR(r uint8) int { return p.gprAvail[r] }
+
+// availBase is availGPR with the RA=0 convention.
+func (p *path) availBase(r uint8) int {
+	if r == 0 {
+		return 0
+	}
+	return p.gprAvail[r]
+}
+
+// freeRenameGPR finds a non-architected GPR free in every VLIW from i to
+// the end of the path, or RNone.
+func (p *path) freeRenameGPR(i int) vliw.RegRef {
+	m := uint32(0xffffffff)
+	for j := i; j < len(p.vs); j++ {
+		m &= p.vs[j].v.FreeGPR
+	}
+	if m == 0 {
+		return vliw.None
+	}
+	return vliw.GPR(vliw.FirstNonArchGPR + uint8(bits.TrailingZeros32(m)))
+}
+
+func (p *path) freeRenameCR(i int) vliw.RegRef {
+	m := uint8(0xff)
+	for j := i; j < len(p.vs); j++ {
+		m &= p.vs[j].v.FreeCRF
+	}
+	if m == 0 {
+		return vliw.None
+	}
+	return vliw.CRF(vliw.FirstNonArchCRF + uint8(bits.TrailingZeros8(m)))
+}
+
+// allocate reserves reg in VLIWs i..last of the path.
+func (p *path) allocate(reg vliw.RegRef, i int) {
+	for j := i; j < len(p.vs); j++ {
+		markBusy(p.vs[j].v, reg)
+	}
+}
+
+// roomALU reports whether VLIW index i can take n more ALU parcels.
+func (p *path) roomALU(i, n int) bool {
+	cfg := p.c.t.Opt.Config
+	v := p.vs[i].v
+	return v.NALU+n <= cfg.ALU && v.NALU+v.NMem+n <= cfg.Issue
+}
+
+// ensureRoomALU opens new VLIWs until the tail can take n more ALU
+// parcels. entryBase seeds any VLIW it opens.
+func (p *path) ensureRoomALU(n int, entryBase uint32) {
+	for !p.roomALU(p.last(), n) {
+		p.openVLIW(entryBase)
+	}
+}
+
+func (p *path) ensureRoomMem(entryBase uint32) {
+	cfg := p.c.t.Opt.Config
+	for !cfg.RoomForMem(p.lastPV().v) {
+		p.openVLIW(entryBase)
+	}
+}
+
+// ensureIndex opens VLIWs until the path has an index idx.
+func (p *path) ensureIndex(idx int, entryBase uint32) {
+	for p.last() < idx {
+		p.openVLIW(entryBase)
+	}
+}
+
+// emit appends a parcel to the path's node in VLIW i and charges resources.
+func (p *path) emit(i int, par vliw.Parcel) {
+	pv := &p.vs[i]
+	pv.tip.Ops = append(pv.tip.Ops, par)
+	switch {
+	case par.Op == vliw.PNop:
+		// bookkeeping only
+	case par.Op.IsMem():
+		pv.v.NMem++
+	default:
+		pv.v.NALU++
+	}
+	if par.IsCommitLike() && i > p.lastCmt {
+		p.lastCmt = i
+	}
+	p.c.t.Stats.Parcels++
+	p.c.g.Parcels++
+}
+
+// emitNop appends a zero-resource boundary marker completing the base
+// instruction at addr (used for branches and sc, whose completion has no
+// architected register write of its own).
+func (p *path) emitNop(addr uint32) {
+	p.emit(p.last(), vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr})
+}
+
+// mkParcel builds a parcel for a given placement index (so sources can be
+// renamed per index) and destination register.
+type mkParcel func(i int, d vliw.RegRef) vliw.Parcel
+
+// installGPRRename records that dest's value lives in rec.reg from index
+// v+1 until the commit.
+func (p *path) installGPRRename(dest uint8, rec *renameRec, v int) {
+	for j := v; j < len(p.vs); j++ {
+		p.vs[j].gmap[dest] = rec
+	}
+	p.gprAvail[dest] = v + 1
+	p.bumpVer(dest)
+}
+
+func (p *path) installCRRename(dest uint8, rec *renameRec, v int) {
+	for j := v; j < len(p.vs); j++ {
+		p.vs[j].cmap[dest] = rec
+	}
+	p.crAvail[dest] = v + 1
+}
+
+func (p *path) bumpVer(r uint8) {
+	p.gprVer[r]++
+	p.gprConst[r] = constVal{}
+}
+
+// renameGPR places a compute parcel for architected GPR dest at the
+// earliest possible index, always into a rename register (growing the path
+// by at most one VLIW if needed). It returns the pending commit parcel and
+// the index at which the commit's source is ready. ok=false means the
+// rename pool is exhausted.
+func (p *path) renameGPR(dest uint8, earliest int, carry bool, mk mkParcel, addr uint32) (commit *vliw.Parcel, ready int, ok bool) {
+	if carry && !p.c.t.Opt.PreciseExceptions {
+		// Deferred commits never move the carry extender into XER, so a
+		// renamed carry would be lost at path exits; keep carry
+		// producers in order (the carry goes straight to XER).
+		p.inOrderGPR(dest, earliest, carry, mk, addr)
+		return nil, p.last() + 1, true
+	}
+	p.ensureIndex(earliest, addr)
+	grew := false
+	for v := earliest; ; v++ {
+		p.c.t.Stats.WorkUnits++
+		if v > p.last() {
+			if grew {
+				return nil, 0, false
+			}
+			p.openVLIW(addr)
+			grew = true
+		}
+		if !p.roomALU(v, 1) {
+			continue
+		}
+		reg := p.freeRenameGPR(v)
+		if reg.Kind == vliw.RNone {
+			if v == p.last() && grew {
+				return nil, 0, false
+			}
+			continue
+		}
+		par := mk(v, reg)
+		par.Spec = true
+		par.BaseAddr = addr
+		p.emit(v, par)
+		p.allocate(reg, v)
+		rec := &renameRec{reg: reg, commitAt: neverCommitted, ca: carry}
+		p.installGPRRename(dest, rec, v)
+		cp := &vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
+			CommitCA: carry, BaseAddr: addr}
+		if !p.c.t.Opt.PreciseExceptions {
+			return nil, v + 1, true // commit deferred to path close
+		}
+		return cp, v + 1, true
+	}
+}
+
+// renameCR is renameGPR for a condition-field destination.
+func (p *path) renameCR(dest uint8, earliest int, mk mkParcel, addr uint32) (commit *vliw.Parcel, ready int, ok bool) {
+	p.ensureIndex(earliest, addr)
+	grew := false
+	for v := earliest; ; v++ {
+		p.c.t.Stats.WorkUnits++
+		if v > p.last() {
+			if grew {
+				return nil, 0, false
+			}
+			p.openVLIW(addr)
+			grew = true
+		}
+		if !p.roomALU(v, 1) {
+			continue
+		}
+		reg := p.freeRenameCR(v)
+		if reg.Kind == vliw.RNone {
+			if v == p.last() && grew {
+				return nil, 0, false
+			}
+			continue
+		}
+		par := mk(v, reg)
+		par.Spec = true
+		par.BaseAddr = addr
+		p.emit(v, par)
+		p.allocate(reg, v)
+		rec := &renameRec{reg: reg, commitAt: neverCommitted}
+		p.installCRRename(dest, rec, v)
+		cp := &vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}
+		if !p.c.t.Opt.PreciseExceptions {
+			return nil, v + 1, true
+		}
+		return cp, v + 1, true
+	}
+}
+
+// renameCTR renames the count register (Appendix D: without this, every
+// decrement-and-branch loop serializes on CTR).
+func (p *path) renameCTR(earliest int, mk mkParcel, addr uint32) (commit *vliw.Parcel, ready int, ok bool) {
+	p.ensureIndex(earliest, addr)
+	grew := false
+	for v := earliest; ; v++ {
+		p.c.t.Stats.WorkUnits++
+		if v > p.last() {
+			if grew {
+				return nil, 0, false
+			}
+			p.openVLIW(addr)
+			grew = true
+		}
+		if !p.roomALU(v, 1) {
+			continue
+		}
+		reg := p.freeRenameGPR(v)
+		if reg.Kind == vliw.RNone {
+			if v == p.last() && grew {
+				return nil, 0, false
+			}
+			continue
+		}
+		par := mk(v, reg)
+		par.Spec = true
+		par.BaseAddr = addr
+		p.emit(v, par)
+		p.allocate(reg, v)
+		rec := &renameRec{reg: reg, commitAt: neverCommitted}
+		for j := v; j < len(p.vs); j++ {
+			p.vs[j].ctr = rec
+		}
+		p.ctrAvail = v + 1
+		cp := &vliw.Parcel{Op: vliw.PCopy, D: vliw.CTR, A: reg, BaseAddr: addr}
+		if !p.c.t.Opt.PreciseExceptions {
+			return nil, v + 1, true
+		}
+		return cp, v + 1, true
+	}
+}
+
+// scheduleGPROp schedules a single-architected-write instruction: try the
+// out-of-order renamed placement; fall back to an in-order direct write at
+// the tail. The returned commit (nil when direct) still has to be placed
+// with placeCommits; direct writes are already tagged EndsInst.
+func (p *path) scheduleGPROp(dest uint8, earliest int, carry bool, mk mkParcel, addr uint32) (commit *vliw.Parcel, ready int) {
+	t := p.c.t
+	if carry && !t.Opt.PreciseExceptions {
+		p.inOrderGPR(dest, earliest, carry, mk, addr)
+		return nil, 0
+	}
+	p.ensureIndex(earliest, addr)
+	for v := earliest; v < p.last(); v++ {
+		t.Stats.WorkUnits++
+		if !p.roomALU(v, 1) {
+			continue
+		}
+		reg := p.freeRenameGPR(v)
+		if reg.Kind == vliw.RNone {
+			continue
+		}
+		par := mk(v, reg)
+		par.Spec = true
+		par.BaseAddr = addr
+		p.emit(v, par)
+		p.allocate(reg, v)
+		rec := &renameRec{reg: reg, commitAt: neverCommitted, ca: carry}
+		p.installGPRRename(dest, rec, v)
+		if !t.Opt.PreciseExceptions {
+			return nil, v + 1
+		}
+		return &vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
+			CommitCA: carry, BaseAddr: addr}, v + 1
+	}
+
+	// In order at the tail, writing the architected register directly.
+	p.inOrderGPR(dest, earliest, carry, mk, addr)
+	return nil, 0
+}
+
+// inOrderGPR emits the op at the tail writing its architected register.
+func (p *path) inOrderGPR(dest uint8, earliest int, carry bool, mk mkParcel, addr uint32) {
+	p.ensureIndex(earliest, addr)
+	p.ensureRoomALU(1, addr)
+	i := p.last()
+	par := mk(i, vliw.GPR(dest))
+	par.BaseAddr = addr
+	par.EndsInst = p.c.t.Opt.PreciseExceptions // imprecise mode counts via the boundary nop
+	p.emit(i, par)
+	p.vs[i].gmap[dest] = nil
+	p.gprAvail[dest] = i + 1
+	p.bumpVer(dest)
+	if carry {
+		p.caAvail = i + 1
+	}
+}
+
+// scheduleCROp is scheduleGPROp for compares.
+func (p *path) scheduleCROp(dest uint8, earliest int, mk mkParcel, addr uint32) (commit *vliw.Parcel, ready int) {
+	t := p.c.t
+	p.ensureIndex(earliest, addr)
+	for v := earliest; v < p.last(); v++ {
+		t.Stats.WorkUnits++
+		if !p.roomALU(v, 1) {
+			continue
+		}
+		reg := p.freeRenameCR(v)
+		if reg.Kind == vliw.RNone {
+			continue
+		}
+		par := mk(v, reg)
+		par.Spec = true
+		par.BaseAddr = addr
+		p.emit(v, par)
+		p.allocate(reg, v)
+		rec := &renameRec{reg: reg, commitAt: neverCommitted}
+		p.installCRRename(dest, rec, v)
+		if !t.Opt.PreciseExceptions {
+			return nil, v + 1
+		}
+		return &vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}, v + 1
+	}
+
+	p.ensureRoomALU(1, addr)
+	i := p.last()
+	par := mk(i, vliw.CRF(dest))
+	par.BaseAddr = addr
+	par.EndsInst = t.Opt.PreciseExceptions
+	p.emit(i, par)
+	p.vs[i].cmap[dest] = nil
+	p.crAvail[dest] = i + 1
+	p.crArchAvail[dest] = i + 1
+	return nil, 0
+}
+
+// placeCommits installs a base instruction's architected writes atomically
+// in a single VLIW at the path tail — an instruction's commits are never
+// split across a boundary, so every boundary stays a precise instruction
+// boundary. ready is the index at which all commit sources are available.
+// The final parcel is tagged EndsInst.
+func (p *path) placeCommits(commits []*vliw.Parcel, ready int, addr uint32) {
+	var live []*vliw.Parcel
+	for _, c := range commits {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		if !p.c.t.Opt.PreciseExceptions {
+			p.emitNop(addr) // completion marker for ILP accounting
+		}
+		return
+	}
+	p.ensureIndex(ready, addr)
+	p.ensureRoomALU(len(live), addr)
+	i := p.last()
+	for k, c := range live {
+		c.EndsInst = k == len(live)-1
+		p.emit(i, *c)
+		p.recordCommit(c, i)
+	}
+}
+
+// recordCommit finalizes the rename records affected by a commit parcel.
+func (p *path) recordCommit(c *vliw.Parcel, i int) {
+	switch c.D.Kind {
+	case vliw.RGPR:
+		if rec := p.vs[i].gmap[c.D.N]; rec != nil && rec.reg == c.A {
+			rec.commitAt = i
+		}
+		if c.CommitCA {
+			p.caAvail = i + 1
+		}
+	case vliw.RCRF:
+		if c.D.N < 8 {
+			if rec := p.vs[i].cmap[c.D.N]; rec != nil && rec.reg == c.A {
+				rec.commitAt = i
+			}
+			p.crArchAvail[c.D.N] = i + 1
+		}
+	case vliw.RLR:
+		p.lrAvail = i + 1
+	case vliw.RCTR:
+		if rec := p.vs[i].ctr; rec != nil && rec.reg == c.A {
+			rec.commitAt = i
+		}
+	}
+}
+
+// flushDeferredCommits emits commits for every pending rename at the path
+// tail (imprecise mode only): architected state must be correct at every
+// path exit even without per-instruction commits.
+func (p *path) flushDeferredCommits() {
+	if p.c.t.Opt.PreciseExceptions {
+		return
+	}
+	flush := func(d vliw.RegRef, rec *renameRec) {
+		// A verify copy must land strictly after the last bypassed store.
+		p.ensureIndex(minFlushIdx(p, rec), p.cont)
+		p.ensureRoomALU(1, p.cont)
+		i := p.last()
+		p.emit(i, vliw.Parcel{Op: vliw.PCopy, D: d, A: rec.reg,
+			CommitCA: rec.ca, Verify: rec.verify})
+		rec.commitAt = i
+	}
+	for r := 0; r < 32; r++ {
+		if rec := p.lastPV().gmap[r]; rec != nil && rec.commitAt > p.last() {
+			flush(vliw.GPR(uint8(r)), rec)
+		}
+	}
+	for f := 0; f < 8; f++ {
+		if rec := p.lastPV().cmap[f]; rec != nil && rec.commitAt > p.last() {
+			flush(vliw.CRF(uint8(f)), rec)
+			p.crArchAvail[f] = rec.commitAt + 1
+		}
+	}
+	if rec := p.lastPV().ctr; rec != nil && rec.commitAt > p.last() {
+		flush(vliw.CTR, rec)
+	}
+}
+
+func minFlushIdx(p *path, rec *renameRec) int {
+	if rec.verify {
+		return p.lastStore + 1
+	}
+	return 0
+}
+
+// close terminates the path with the given exit.
+func (p *path) close(exit vliw.Exit) {
+	p.flushDeferredCommits()
+	p.lastPV().tip.Exit = exit
+	p.c.removePath(p)
+}
+
+// closeToEntry terminates the path with a branch to a same-page entry
+// point, adding it to the group worklist (AddToWorklist, Figure A.2).
+func (p *path) closeToEntry(addr uint32) {
+	if p.c.t.Opt.TraceGuide != nil {
+		p.closeLazy(addr)
+		return
+	}
+	p.close(vliw.Exit{Kind: vliw.ExitEntry, Target: addr})
+	p.c.addWork(addr)
+}
+
+// closeLazy is closeToEntry without eager worklist translation: the entry
+// is created on demand if execution ever arrives (interpretive mode keeps
+// cold paths untranslated).
+func (p *path) closeLazy(addr uint32) {
+	p.close(vliw.Exit{Kind: vliw.ExitEntry, Target: addr})
+}

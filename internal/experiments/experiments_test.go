@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"daisy/internal/vliw"
+)
+
+func TestMeasureMemoization(t *testing.T) {
+	r := NewRunner(1)
+	m1, err := r.Measure("wc", vliw.BigConfig, 4096, HierNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Measure("wc", vliw.BigConfig, 4096, HierNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("identical keys must return the memoized measurement")
+	}
+	if m1.InfILP() <= 1 || m1.Insts == 0 || m1.VLIWs == 0 {
+		t.Fatalf("implausible measurement: %+v", m1)
+	}
+	if m1.FiniteILP() != m1.InfILP() {
+		t.Fatal("without a hierarchy there are no stall cycles")
+	}
+	mf, err := r.Measure("wc", vliw.BigConfig, 4096, HierA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.FiniteILP() > mf.InfILP() {
+		t.Fatal("stalls cannot raise ILP")
+	}
+}
+
+func TestStaticTouchedMemoized(t *testing.T) {
+	r := NewRunner(1)
+	d1, s1, err := r.StaticTouched("c_sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, s2, err := r.StaticTouched("c_sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || s1 != s2 {
+		t.Fatal("memoization broke determinism")
+	}
+	if d1 == 0 || s1 == 0 || d1 < s1 {
+		t.Fatalf("implausible reuse data: dyn=%d static=%d", d1, s1)
+	}
+}
+
+func TestSmallTablesRender(t *testing.T) {
+	r := NewRunner(1)
+	t58 := r.Table58()
+	if t58.Rows() != 6 || !strings.Contains(t58.String(), "Reuse factor") {
+		t.Fatal("Table 5.8 malformed")
+	}
+	t51, err := r.Table51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t51.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 5.1 missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "MEAN") {
+		t.Error("Table 5.1 missing MEAN row")
+	}
+	t57, err := r.Table57()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t57.String(), "sort") {
+		t.Error("Table 5.7 missing sort")
+	}
+}
+
+func TestNamesMatchWorkloads(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("expected the paper's 8 benchmarks, got %d", len(names))
+	}
+	want := map[string]bool{"compress": true, "lex": true, "fgrep": true,
+		"wc": true, "cmp": true, "sort": true, "c_sieve": true, "gcc": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected benchmark %q", n)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package oracle implements Chapter 6: measuring and approaching oracle
+// parallelism by interpretive compilation. The whole dynamic trace is
+// scheduled with every operation at the earliest cycle its control and
+// data dependences allow — unlimited rename registers, perfect branch
+// knowledge (the trace is the actual path), memory constrained only by
+// true store-to-load dependences. A resource-bounded variant models the
+// practical intermediate points the chapter discusses.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+
+	"daisy/internal/asm"
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+	"daisy/internal/ppc"
+)
+
+// Result reports an oracle measurement.
+type Result struct {
+	Insts  uint64
+	Cycles uint64 // schedule depth
+	ILP    float64
+}
+
+// Limits bounds the oracle; zero values mean unlimited.
+type Limits struct {
+	OpsPerCycle int // total operations schedulable in one cycle
+}
+
+type sched struct {
+	lim Limits
+
+	gpr [32]uint64
+	cr  [8]uint64
+	lr  uint64
+	ctr uint64
+	xer uint64
+
+	// mem maps word-aligned addresses to the completion time of their
+	// last store (true dependences only; anti/output dependences are
+	// renamed away, as in the paper's oracle definition).
+	mem map[uint32]uint64
+
+	// io is the completion time of the last system call: I/O is observable
+	// and serializes even for an oracle.
+	io uint64
+
+	// used counts operations per cycle for the bounded variant.
+	used  map[uint64]int
+	depth uint64
+}
+
+// Measure interprets the program and oracle-schedules its trace.
+func Measure(prog *asm.Program, input []byte, lim Limits, memSize uint32) (Result, error) {
+	m := mem.New(memSize)
+	if err := prog.Load(m); err != nil {
+		return Result{}, err
+	}
+	s := &sched{lim: lim, mem: make(map[uint32]uint64)}
+	if lim.OpsPerCycle > 0 {
+		s.used = make(map[uint64]int)
+	}
+	ip := interp.New(m, &interp.Env{In: input}, prog.Entry())
+	ip.Trace = func(pc uint32, in ppc.Inst, st *ppc.State) { s.schedule(in, st) }
+	if err := ip.Run(2_000_000_000); !errors.Is(err, interp.ErrHalt) {
+		return Result{}, fmt.Errorf("oracle: %w", err)
+	}
+	if s.depth == 0 {
+		s.depth = 1
+	}
+	return Result{
+		Insts:  ip.InstCount,
+		Cycles: s.depth,
+		ILP:    float64(ip.InstCount) / float64(s.depth),
+	}, nil
+}
+
+// place finds the earliest cycle >= t with a free slot.
+func (s *sched) place(t uint64) uint64 {
+	if s.used == nil {
+		if t > s.depth {
+			s.depth = t
+		}
+		return t
+	}
+	for s.used[t] >= s.lim.OpsPerCycle {
+		t++
+	}
+	s.used[t]++
+	if t > s.depth {
+		s.depth = t
+	}
+	return t
+}
+
+func (s *sched) schedule(in ppc.Inst, st *ppc.State) {
+	ready := uint64(1)
+	up := func(t uint64) {
+		if t > ready {
+			ready = t
+		}
+	}
+	gpr := func(n ppc.Reg) { up(s.gpr[n] + 1) }
+	base := func(n ppc.Reg) {
+		if n != 0 {
+			gpr(n)
+		}
+	}
+
+	// Source dependences.
+	switch in.Op {
+	case ppc.OpSc:
+		// System calls read r0 (the service), read/write r3, and chain
+		// on program order: the I/O streams are architecturally ordered.
+		gpr(0)
+		gpr(3)
+		up(s.io + 1)
+		t := s.place(ready)
+		s.io = t
+		s.gpr[3] = t
+		return
+	case ppc.OpB:
+	case ppc.OpBc, ppc.OpBclr, ppc.OpBcctr:
+		if in.UsesCond() {
+			up(s.cr[in.BI/4] + 1)
+		}
+		if in.Op == ppc.OpBclr {
+			up(s.lr + 1)
+		}
+		if in.Op == ppc.OpBcctr || in.DecrementsCTR() {
+			up(s.ctr + 1)
+		}
+	case ppc.OpAddi, ppc.OpAddis:
+		base(in.RA)
+	case ppc.OpCmpi, ppc.OpCmpli:
+		gpr(in.RA)
+	case ppc.OpCrand, ppc.OpCror, ppc.OpCrxor, ppc.OpCrnand, ppc.OpCrnor:
+		up(s.cr[uint8(in.RA)/4] + 1)
+		up(s.cr[uint8(in.RB)/4] + 1)
+		up(s.cr[uint8(in.RT)/4] + 1)
+	case ppc.OpMcrf:
+		up(s.cr[in.CRFA] + 1)
+	case ppc.OpMfcr:
+		for f := 0; f < 8; f++ {
+			up(s.cr[f] + 1)
+		}
+	case ppc.OpMfspr:
+		switch in.SPR {
+		case ppc.SprLR:
+			up(s.lr + 1)
+		case ppc.SprCTR:
+			up(s.ctr + 1)
+		default:
+			up(s.xer + 1)
+		}
+	case ppc.OpMtspr, ppc.OpMtcrf:
+		gpr(in.RT)
+	default:
+		if in.IsLoad() || in.IsStore() {
+			base(in.RA)
+			if indexed(in.Op) {
+				gpr(in.RB)
+			}
+			if in.IsStore() {
+				gpr(in.RT)
+			}
+		} else {
+			gpr(in.RA)
+			if threeReg(in.Op) {
+				gpr(in.RB)
+			}
+			if logicalForm(in.Op) {
+				gpr(in.RT) // RS source
+			}
+			if in.Op == ppc.OpAdde || in.Op == ppc.OpSubfe {
+				up(s.xer + 1)
+			}
+			if in.Op == ppc.OpRlwimi {
+				gpr(in.RA) // read-modify-write
+			}
+		}
+	}
+
+	// True memory dependences.
+	if in.IsLoad() || in.IsStore() {
+		ea := effectiveAddr(in, st) &^ 3
+		n := uint32(in.MemSize())
+		if in.Op == ppc.OpLmw || in.Op == ppc.OpStmw {
+			n = 4 * (32 - uint32(in.RT))
+		}
+		for a := ea; a < ea+n; a += 4 {
+			if in.IsLoad() {
+				up(s.mem[a] + 1)
+			}
+		}
+		t := s.place(ready)
+		for a := ea; a < ea+n; a += 4 {
+			if in.IsStore() {
+				s.mem[a] = t
+			}
+		}
+		s.write(in, t)
+		return
+	}
+
+	s.write(in, s.place(ready))
+}
+
+func (s *sched) write(in ppc.Inst, t uint64) {
+	switch in.Op {
+	case ppc.OpCmpi, ppc.OpCmpli, ppc.OpCmp, ppc.OpCmpl, ppc.OpMcrf:
+		s.cr[in.CRF] = t
+	case ppc.OpCrand, ppc.OpCror, ppc.OpCrxor, ppc.OpCrnand, ppc.OpCrnor:
+		s.cr[uint8(in.RT)/4] = t
+	case ppc.OpMtcrf:
+		for f := 0; f < 8; f++ {
+			if in.FXM&(0x80>>uint(f)) != 0 {
+				s.cr[f] = t
+			}
+		}
+	case ppc.OpMtspr:
+		switch in.SPR {
+		case ppc.SprLR:
+			s.lr = t
+		case ppc.SprCTR:
+			s.ctr = t
+		default:
+			s.xer = t
+		}
+	case ppc.OpMfspr, ppc.OpMfcr:
+		s.gpr[in.RT] = t
+	case ppc.OpB, ppc.OpBc, ppc.OpBclr, ppc.OpBcctr:
+		if in.LK {
+			s.lr = t
+		}
+		if in.Op != ppc.OpBcctr && in.DecrementsCTR() {
+			s.ctr = t
+		}
+	case ppc.OpSync, ppc.OpStmw:
+	case ppc.OpLmw:
+		for r := int(in.RT); r < 32; r++ {
+			s.gpr[r] = t
+		}
+	default:
+		if in.IsStore() {
+			// update forms handled below
+		} else if logicalForm(in.Op) {
+			s.gpr[in.RA] = t
+		} else {
+			s.gpr[in.RT] = t
+		}
+		switch in.Op {
+		case ppc.OpLwzu, ppc.OpLbzu, ppc.OpLhzu, ppc.OpStwu, ppc.OpStbu, ppc.OpSthu:
+			s.gpr[in.RA] = t
+		}
+		switch in.Op {
+		case ppc.OpAddic, ppc.OpAddicRC, ppc.OpSubfic, ppc.OpAddc, ppc.OpAdde,
+			ppc.OpSubfc, ppc.OpSubfe, ppc.OpSraw, ppc.OpSrawi:
+			s.xer = t
+		}
+		if in.Rc {
+			s.cr[0] = t
+		}
+	}
+}
+
+func indexed(op ppc.Opcode) bool {
+	switch op {
+	case ppc.OpLwzx, ppc.OpLbzx, ppc.OpLhzx, ppc.OpStwx, ppc.OpStbx, ppc.OpSthx:
+		return true
+	}
+	return false
+}
+
+func threeReg(op ppc.Opcode) bool {
+	switch op {
+	case ppc.OpAdd, ppc.OpAddc, ppc.OpAdde, ppc.OpSubf, ppc.OpSubfc, ppc.OpSubfe,
+		ppc.OpMullw, ppc.OpMulhwu, ppc.OpDivw, ppc.OpDivwu,
+		ppc.OpAnd, ppc.OpAndc, ppc.OpOr, ppc.OpNor, ppc.OpXor, ppc.OpNand,
+		ppc.OpSlw, ppc.OpSrw, ppc.OpSraw, ppc.OpCmp, ppc.OpCmpl:
+		return true
+	}
+	return false
+}
+
+func logicalForm(op ppc.Opcode) bool {
+	switch op {
+	case ppc.OpAnd, ppc.OpAndc, ppc.OpOr, ppc.OpNor, ppc.OpXor, ppc.OpNand,
+		ppc.OpSlw, ppc.OpSrw, ppc.OpSraw, ppc.OpSrawi, ppc.OpCntlzw,
+		ppc.OpExtsb, ppc.OpExtsh, ppc.OpRlwinm, ppc.OpRlwimi,
+		ppc.OpOri, ppc.OpOris, ppc.OpXori, ppc.OpXoris,
+		ppc.OpAndiRC, ppc.OpAndisRC:
+		return true
+	}
+	return false
+}
+
+func effectiveAddr(in ppc.Inst, st *ppc.State) uint32 {
+	b := uint32(0)
+	if in.RA != 0 {
+		b = st.GPR[in.RA]
+	}
+	if indexed(in.Op) {
+		return b + st.GPR[in.RB]
+	}
+	if in.Op == ppc.OpLwzu || in.Op == ppc.OpLbzu || in.Op == ppc.OpLhzu ||
+		in.Op == ppc.OpStwu || in.Op == ppc.OpStbu || in.Op == ppc.OpSthu {
+		return st.GPR[in.RA] + uint32(in.Imm)
+	}
+	return b + uint32(in.Imm)
+}

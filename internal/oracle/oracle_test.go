@@ -1,0 +1,145 @@
+package oracle
+
+import (
+	"testing"
+
+	"daisy/internal/asm"
+	"daisy/internal/workload"
+)
+
+const memSize = 8 << 20
+
+func build(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSerialChainILPOne(t *testing.T) {
+	p := build(t, `
+_start:	li r3, 0
+	li r4, 1000
+	mtctr r4
+loop:	addi r3, r3, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	r, err := Measure(p, nil, Limits{}, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// addi chain serializes; bdnz's CTR chain runs beside it, so the
+	// oracle ILP approaches 2.
+	if r.ILP < 1.5 || r.ILP > 2.6 {
+		t.Fatalf("dependence-chain oracle ILP = %.2f, want ~2", r.ILP)
+	}
+}
+
+func TestIndependentIterationsExplode(t *testing.T) {
+	// Iterations write disjoint memory from an induction chain: the only
+	// serial chain is the induction variable, so oracle ILP is high.
+	p := build(t, `
+_start:	lis r5, 0x10
+	li r4, 1000
+	mtctr r4
+	li r6, 0
+loop:	slwi r7, r6, 2
+	add r8, r7, r5
+	mullw r9, r6, r6
+	stw r9, 0(r8)
+	addi r6, r6, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	r, err := Measure(p, nil, Limits{}, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ILP < 3.5 {
+		t.Fatalf("parallel-iteration oracle ILP = %.2f, want > 3.5", r.ILP)
+	}
+	t.Logf("oracle ILP = %.2f", r.ILP)
+}
+
+func TestMemoryTrueDependenceRespected(t *testing.T) {
+	// A chain through one memory cell must serialize.
+	p := build(t, `
+_start:	lis r5, 0x10
+	li r3, 0
+	stw r3, 0(r5)
+	li r4, 500
+	mtctr r4
+loop:	lwz r3, 0(r5)
+	addi r3, r3, 1
+	stw r3, 0(r5)
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	r, err := Measure(p, nil, Limits{}, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ILP > 2.2 {
+		t.Fatalf("memory chain oracle ILP = %.2f, should stay near 4/3", r.ILP)
+	}
+}
+
+func TestResourceBoundMonotone(t *testing.T) {
+	w, err := workload.ByName("c_sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.Input(1)
+	unlimited, err := Measure(prog, in, Limits{}, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, ops := range []int{2, 4, 8, 16} {
+		r, err := Measure(prog, in, Limits{OpsPerCycle: ops}, memSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ILP < prev-0.01 {
+			t.Fatalf("ILP not monotone in resources: %d ops -> %.2f after %.2f", ops, r.ILP, prev)
+		}
+		if r.ILP > float64(ops) {
+			t.Fatalf("ILP %.2f exceeds ops/cycle %d", r.ILP, ops)
+		}
+		if r.ILP > unlimited.ILP+0.01 {
+			t.Fatalf("bounded ILP %.2f exceeds oracle %.2f", r.ILP, unlimited.ILP)
+		}
+		prev = r.ILP
+	}
+	t.Logf("c_sieve oracle: unlimited %.2f", unlimited.ILP)
+}
+
+// TestOracleDominatesWorkloads: oracle ILP must upper-bound what the
+// paper-style machine can extract, on every benchmark.
+func TestOracleAboveTwoOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"c_sieve", "wc", "fgrep"} {
+		w, _ := workload.ByName(name)
+		prog, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Measure(prog, w.Input(1), Limits{}, memSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: oracle ILP %.2f over %d insts", name, r.ILP, r.Insts)
+		if r.ILP < 2 {
+			t.Errorf("%s: oracle ILP %.2f implausibly low", name, r.ILP)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package ppc
+
+// Shared fixed-point semantics used by both the base-architecture
+// interpreter and the VLIW executor, so the two engines cannot drift.
+
+// AddCarry returns a+b+cin and the carry out of bit 31.
+func AddCarry(a, b, cin uint32) (sum uint32, ca bool) {
+	s := uint64(a) + uint64(b) + uint64(cin)
+	return uint32(s), s>>32 != 0
+}
+
+// ShiftLeft implements slw: shift amounts of 32..63 produce zero.
+func ShiftLeft(v, amt uint32) uint32 {
+	amt &= 0x3f
+	if amt >= 32 {
+		return 0
+	}
+	return v << amt
+}
+
+// ShiftRight implements srw.
+func ShiftRight(v, amt uint32) uint32 {
+	amt &= 0x3f
+	if amt >= 32 {
+		return 0
+	}
+	return v >> amt
+}
+
+// ShiftRightAlg implements sraw/srawi, returning the result and the carry
+// (set when the value is negative and one-bits were shifted out).
+func ShiftRightAlg(v, amt uint32) (uint32, bool) {
+	if amt >= 32 {
+		r := uint32(int32(v) >> 31)
+		return r, int32(v) < 0 && v != 0
+	}
+	r := uint32(int32(v) >> amt)
+	lost := v & (1<<amt - 1)
+	return r, int32(v) < 0 && lost != 0
+}
+
+// DivSigned implements divw with the architecturally undefined cases
+// (division by zero, most-negative over minus-one) pinned to zero for
+// reproducibility.
+func DivSigned(a, b uint32) uint32 {
+	if b == 0 || (a == 0x80000000 && b == 0xffffffff) {
+		return 0
+	}
+	return uint32(int32(a) / int32(b))
+}
+
+// DivUnsigned implements divwu with division by zero pinned to zero.
+func DivUnsigned(a, b uint32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// CrOp applies a condition-register logical operation given by opcode.
+func CrOp(op Opcode, a, b bool) bool {
+	switch op {
+	case OpCrand:
+		return a && b
+	case OpCror:
+		return a || b
+	case OpCrxor:
+		return a != b
+	case OpCrnand:
+		return !(a && b)
+	case OpCrnor:
+		return !(a || b)
+	}
+	return false
+}

@@ -1,0 +1,353 @@
+package ppc
+
+import "fmt"
+
+// Primary opcode numbers (instruction word bits 0-5).
+const (
+	poMulli  = 7
+	poSubfic = 8
+	poCmpli  = 10
+	poCmpi   = 11
+	poAddic  = 12
+	poAddicR = 13
+	poAddi   = 14
+	poAddis  = 15
+	poBc     = 16
+	poSc     = 17
+	poB      = 18
+	poXL     = 19
+	poRlwimi = 20
+	poRlwinm = 21
+	poOri    = 24
+	poOris   = 25
+	poXori   = 26
+	poXoris  = 27
+	poAndiR  = 28
+	poAndisR = 29
+	poX      = 31
+	poLwz    = 32
+	poLwzu   = 33
+	poLbz    = 34
+	poLbzu   = 35
+	poStw    = 36
+	poStwu   = 37
+	poStb    = 38
+	poStbu   = 39
+	poLhz    = 40
+	poLhzu   = 41
+	poLha    = 42
+	poSth    = 44
+	poSthu   = 45
+	poLmw    = 46
+	poStmw   = 47
+)
+
+// 10-bit extended opcodes under primary 31 (X-form).
+var xExt = map[uint32]Opcode{
+	28: OpAnd, 60: OpAndc, 444: OpOr, 124: OpNor, 316: OpXor, 476: OpNand,
+	24: OpSlw, 536: OpSrw, 792: OpSraw, 824: OpSrawi,
+	26: OpCntlzw, 954: OpExtsb, 922: OpExtsh,
+	0: OpCmp, 32: OpCmpl,
+	339: OpMfspr, 467: OpMtspr, 19: OpMfcr, 144: OpMtcrf,
+	23: OpLwzx, 87: OpLbzx, 279: OpLhzx,
+	151: OpStwx, 215: OpStbx, 407: OpSthx,
+	598: OpSync,
+}
+
+// 9-bit extended opcodes under primary 31 (XO-form, OE at bit 21).
+var xoExt = map[uint32]Opcode{
+	266: OpAdd, 10: OpAddc, 138: OpAdde, 40: OpSubf, 8: OpSubfc, 136: OpSubfe,
+	104: OpNeg, 235: OpMullw, 11: OpMulhwu, 491: OpDivw, 459: OpDivwu,
+}
+
+// Extended opcodes under primary 19 (XL-form).
+var xlExt = map[uint32]Opcode{
+	16: OpBclr, 528: OpBcctr, 50: OpRfi,
+	257: OpCrand, 449: OpCror, 193: OpCrxor, 225: OpCrnand, 33: OpCrnor,
+	0: OpMcrf,
+}
+
+// reverse tables built once for the encoder.
+var (
+	xExtRev  = reverse(xExt)
+	xoExtRev = reverse(xoExt)
+	xlExtRev = reverse(xlExt)
+)
+
+func reverse(m map[uint32]Opcode) map[Opcode]uint32 {
+	r := make(map[Opcode]uint32, len(m))
+	for k, v := range m {
+		r[v] = k
+	}
+	return r
+}
+
+// Decode decodes one 32-bit instruction word. Unrecognized words decode to
+// OpIllegal with Raw preserved; the interpreter raises a program exception
+// for them and the translator treats them as stopping points.
+func Decode(w uint32) Inst {
+	in := Inst{Raw: w}
+	rt := Reg(w >> 21 & 0x1f)
+	ra := Reg(w >> 16 & 0x1f)
+	rb := Reg(w >> 11 & 0x1f)
+	simm := int32(int16(w))
+	uimm := int32(w & 0xffff)
+
+	switch w >> 26 {
+	case poMulli:
+		in.Op, in.RT, in.RA, in.Imm = OpMulli, rt, ra, simm
+	case poSubfic:
+		in.Op, in.RT, in.RA, in.Imm = OpSubfic, rt, ra, simm
+	case poCmpli:
+		in.Op, in.CRF, in.RA, in.Imm = OpCmpli, uint8(w>>23&7), ra, uimm
+	case poCmpi:
+		in.Op, in.CRF, in.RA, in.Imm = OpCmpi, uint8(w>>23&7), ra, simm
+	case poAddic:
+		in.Op, in.RT, in.RA, in.Imm = OpAddic, rt, ra, simm
+	case poAddicR:
+		in.Op, in.RT, in.RA, in.Imm, in.Rc = OpAddicRC, rt, ra, simm, true
+	case poAddi:
+		in.Op, in.RT, in.RA, in.Imm = OpAddi, rt, ra, simm
+	case poAddis:
+		in.Op, in.RT, in.RA, in.Imm = OpAddis, rt, ra, simm
+	case poBc:
+		in.Op, in.BO, in.BI = OpBc, uint8(rt), uint8(ra)
+		bd := int32(w&0xfffc) << 16 >> 16 // sign-extend 16-bit, low 2 bits zero
+		in.Imm = bd
+		in.AA = w&2 != 0
+		in.LK = w&1 != 0
+	case poSc:
+		in.Op = OpSc
+	case poB:
+		li := int32(w&0x03fffffc) << 6 >> 6
+		in.Op, in.Imm = OpB, li
+		in.AA = w&2 != 0
+		in.LK = w&1 != 0
+	case poXL:
+		xo := w >> 1 & 0x3ff
+		op, ok := xlExt[xo]
+		if !ok {
+			return in
+		}
+		in.Op = op
+		switch op {
+		case OpBclr, OpBcctr:
+			in.BO, in.BI, in.LK = uint8(rt), uint8(ra), w&1 != 0
+		case OpMcrf:
+			in.CRF, in.CRFA = uint8(w>>23&7), uint8(w>>18&7)
+		case OpRfi:
+		default: // cr-logical: BT,BA,BB live in the register fields
+			in.RT, in.RA, in.RB = rt, ra, rb
+		}
+	case poRlwimi, poRlwinm:
+		if w>>26 == poRlwimi {
+			in.Op = OpRlwimi
+		} else {
+			in.Op = OpRlwinm
+		}
+		in.RT, in.RA = rt, ra // RS in RT; dest in RA
+		in.SH = uint8(rb)
+		in.MB = uint8(w >> 6 & 0x1f)
+		in.ME = uint8(w >> 1 & 0x1f)
+		in.Rc = w&1 != 0
+	case poOri:
+		in.Op, in.RT, in.RA, in.Imm = OpOri, rt, ra, uimm
+	case poOris:
+		in.Op, in.RT, in.RA, in.Imm = OpOris, rt, ra, uimm
+	case poXori:
+		in.Op, in.RT, in.RA, in.Imm = OpXori, rt, ra, uimm
+	case poXoris:
+		in.Op, in.RT, in.RA, in.Imm = OpXoris, rt, ra, uimm
+	case poAndiR:
+		in.Op, in.RT, in.RA, in.Imm, in.Rc = OpAndiRC, rt, ra, uimm, true
+	case poAndisR:
+		in.Op, in.RT, in.RA, in.Imm, in.Rc = OpAndisRC, rt, ra, uimm, true
+	case poX:
+		ext := w >> 1 & 0x3ff
+		if op, ok := xExt[ext]; ok {
+			in.Op, in.RT, in.RA, in.RB = op, rt, ra, rb
+			in.Rc = w&1 != 0
+			switch op {
+			case OpCmp, OpCmpl:
+				in.CRF, in.RT, in.Rc = uint8(w>>23&7), 0, false
+			case OpSrawi:
+				in.SH, in.RB = uint8(rb), 0
+			case OpMfspr, OpMtspr:
+				in.SPR = SPR(uint16(w>>16&0x1f) | uint16(w>>11&0x1f)<<5)
+				in.RA, in.RB, in.Rc = 0, 0, false
+			case OpMfcr:
+				in.RA, in.RB, in.Rc = 0, 0, false
+			case OpMtcrf:
+				in.FXM, in.RA, in.RB, in.Rc = uint8(w>>12&0xff), 0, 0, false
+			case OpSync:
+				in.RT, in.RA, in.RB, in.Rc = 0, 0, 0, false
+			}
+			return in
+		}
+		if op, ok := xoExt[ext&0x1ff]; ok {
+			in.Op, in.RT, in.RA, in.RB = op, rt, ra, rb
+			in.Rc = w&1 != 0
+		}
+	case poLwz, poLwzu, poLbz, poLbzu, poStw, poStwu, poStb, poStbu,
+		poLhz, poLhzu, poLha, poSth, poSthu, poLmw, poStmw:
+		in.Op = dMemOp(w >> 26)
+		in.RT, in.RA, in.Imm = rt, ra, simm
+	}
+	return in
+}
+
+func dMemOp(primary uint32) Opcode {
+	switch primary {
+	case poLwz:
+		return OpLwz
+	case poLwzu:
+		return OpLwzu
+	case poLbz:
+		return OpLbz
+	case poLbzu:
+		return OpLbzu
+	case poStw:
+		return OpStw
+	case poStwu:
+		return OpStwu
+	case poStb:
+		return OpStb
+	case poStbu:
+		return OpStbu
+	case poLhz:
+		return OpLhz
+	case poLhzu:
+		return OpLhzu
+	case poLha:
+		return OpLha
+	case poSth:
+		return OpSth
+	case poSthu:
+		return OpSthu
+	case poLmw:
+		return OpLmw
+	case poStmw:
+		return OpStmw
+	}
+	return OpIllegal
+}
+
+var dMemPrimary = map[Opcode]uint32{
+	OpLwz: poLwz, OpLwzu: poLwzu, OpLbz: poLbz, OpLbzu: poLbzu,
+	OpStw: poStw, OpStwu: poStwu, OpStb: poStb, OpStbu: poStbu,
+	OpLhz: poLhz, OpLhzu: poLhzu, OpLha: poLha,
+	OpSth: poSth, OpSthu: poSthu, OpLmw: poLmw, OpStmw: poStmw,
+}
+
+// Encode produces the 32-bit instruction word for in. It is the inverse of
+// Decode for every instruction in the subset.
+func Encode(in Inst) (uint32, error) {
+	rt := uint32(in.RT&0x1f) << 21
+	ra := uint32(in.RA&0x1f) << 16
+	rb := uint32(in.RB&0x1f) << 11
+	rcBit := uint32(0)
+	if in.Rc {
+		rcBit = 1
+	}
+	lkBit := uint32(0)
+	if in.LK {
+		lkBit = 1
+	}
+	aaBit := uint32(0)
+	if in.AA {
+		aaBit = 2
+	}
+
+	switch in.Op {
+	case OpMulli:
+		return poMulli<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpSubfic:
+		return poSubfic<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpCmpli:
+		return poCmpli<<26 | uint32(in.CRF)<<23 | ra | uint32(in.Imm)&0xffff, nil
+	case OpCmpi:
+		return poCmpi<<26 | uint32(in.CRF)<<23 | ra | uint32(in.Imm)&0xffff, nil
+	case OpAddic:
+		return poAddic<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpAddicRC:
+		return poAddicR<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpAddi:
+		return poAddi<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpAddis:
+		return poAddis<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpBc:
+		if in.Imm&3 != 0 {
+			return 0, fmt.Errorf("ppc: bc displacement %#x not word aligned", in.Imm)
+		}
+		if in.Imm < -0x8000 || in.Imm > 0x7fff {
+			return 0, fmt.Errorf("ppc: bc displacement %#x out of range", in.Imm)
+		}
+		return poBc<<26 | uint32(in.BO)<<21 | uint32(in.BI)<<16 |
+			uint32(in.Imm)&0xfffc | aaBit | lkBit, nil
+	case OpSc:
+		return poSc<<26 | 2, nil
+	case OpB:
+		if in.Imm&3 != 0 {
+			return 0, fmt.Errorf("ppc: b displacement %#x not word aligned", in.Imm)
+		}
+		if in.Imm < -0x2000000 || in.Imm > 0x1ffffff {
+			return 0, fmt.Errorf("ppc: b displacement %#x out of range", in.Imm)
+		}
+		return poB<<26 | uint32(in.Imm)&0x03fffffc | aaBit | lkBit, nil
+	case OpBclr, OpBcctr:
+		return poXL<<26 | uint32(in.BO)<<21 | uint32(in.BI)<<16 |
+			xlExtRev[in.Op]<<1 | lkBit, nil
+	case OpCrand, OpCror, OpCrxor, OpCrnand, OpCrnor:
+		return poXL<<26 | rt | ra | rb | xlExtRev[in.Op]<<1, nil
+	case OpMcrf:
+		return poXL<<26 | uint32(in.CRF)<<23 | uint32(in.CRFA)<<18, nil
+	case OpRfi:
+		return poXL<<26 | xlExtRev[OpRfi]<<1, nil
+	case OpRlwimi, OpRlwinm:
+		po := uint32(poRlwinm)
+		if in.Op == OpRlwimi {
+			po = poRlwimi
+		}
+		return po<<26 | rt | ra | uint32(in.SH&0x1f)<<11 |
+			uint32(in.MB&0x1f)<<6 | uint32(in.ME&0x1f)<<1 | rcBit, nil
+	case OpOri:
+		return poOri<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpOris:
+		return poOris<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpXori:
+		return poXori<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpXoris:
+		return poXoris<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpAndiRC:
+		return poAndiR<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpAndisRC:
+		return poAndisR<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	case OpCmp, OpCmpl:
+		return poX<<26 | uint32(in.CRF)<<23 | ra | rb | xExtRev[in.Op]<<1, nil
+	case OpSrawi:
+		return poX<<26 | rt | ra | uint32(in.SH&0x1f)<<11 | xExtRev[in.Op]<<1 | rcBit, nil
+	case OpMfspr, OpMtspr:
+		spr := uint32(in.SPR&0x1f)<<16 | uint32(in.SPR>>5&0x1f)<<11
+		return poX<<26 | rt | spr | xExtRev[in.Op]<<1, nil
+	case OpMfcr:
+		return poX<<26 | rt | xExtRev[in.Op]<<1, nil
+	case OpMtcrf:
+		return poX<<26 | rt | uint32(in.FXM)<<12 | xExtRev[in.Op]<<1, nil
+	case OpSync:
+		return poX<<26 | xExtRev[in.Op]<<1, nil
+	}
+
+	if ext, ok := xExtRev[in.Op]; ok {
+		return poX<<26 | rt | ra | rb | ext<<1 | rcBit, nil
+	}
+	if ext, ok := xoExtRev[in.Op]; ok {
+		return poX<<26 | rt | ra | rb | ext<<1 | rcBit, nil
+	}
+	if po, ok := dMemPrimary[in.Op]; ok {
+		if in.Imm < -0x8000 || in.Imm > 0x7fff {
+			return 0, fmt.Errorf("ppc: %s displacement %#x out of range", in.Op, in.Imm)
+		}
+		return po<<26 | rt | ra | uint32(in.Imm)&0xffff, nil
+	}
+	return 0, fmt.Errorf("ppc: cannot encode opcode %s", in.Op)
+}

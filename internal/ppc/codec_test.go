@@ -1,0 +1,323 @@
+package ppc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes an Inst and decodes the word back, checking that the
+// semantic fields survive.
+func roundTrip(t *testing.T, in Inst) {
+	t.Helper()
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", in, err)
+	}
+	got := Decode(w)
+	in.Raw = w
+	if got != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v (word %#08x)", in, got, w)
+	}
+}
+
+func TestRoundTripDForm(t *testing.T) {
+	roundTrip(t, Inst{Op: OpAddi, RT: 1, RA: 2, Imm: -32768})
+	roundTrip(t, Inst{Op: OpAddis, RT: 31, RA: 0, Imm: 0x7fff})
+	roundTrip(t, Inst{Op: OpMulli, RT: 5, RA: 6, Imm: -7})
+	roundTrip(t, Inst{Op: OpSubfic, RT: 9, RA: 10, Imm: 100})
+	roundTrip(t, Inst{Op: OpAddic, RT: 3, RA: 4, Imm: 1})
+	roundTrip(t, Inst{Op: OpAddicRC, RT: 3, RA: 4, Imm: 1, Rc: true})
+	roundTrip(t, Inst{Op: OpOri, RT: 7, RA: 8, Imm: 0xffff})
+	roundTrip(t, Inst{Op: OpOris, RT: 7, RA: 8, Imm: 0x8000})
+	roundTrip(t, Inst{Op: OpXori, RT: 1, RA: 1, Imm: 0xaaaa})
+	roundTrip(t, Inst{Op: OpXoris, RT: 1, RA: 1, Imm: 0x5555})
+	roundTrip(t, Inst{Op: OpAndiRC, RT: 2, RA: 3, Imm: 0xff, Rc: true})
+	roundTrip(t, Inst{Op: OpAndisRC, RT: 2, RA: 3, Imm: 0xff00, Rc: true})
+}
+
+func TestRoundTripCompare(t *testing.T) {
+	roundTrip(t, Inst{Op: OpCmpi, CRF: 7, RA: 3, Imm: -1})
+	roundTrip(t, Inst{Op: OpCmpli, CRF: 0, RA: 3, Imm: 0xffff})
+	roundTrip(t, Inst{Op: OpCmp, CRF: 3, RA: 4, RB: 5})
+	roundTrip(t, Inst{Op: OpCmpl, CRF: 1, RA: 4, RB: 5})
+}
+
+func TestRoundTripBranches(t *testing.T) {
+	roundTrip(t, Inst{Op: OpB, Imm: 0x1000})
+	roundTrip(t, Inst{Op: OpB, Imm: -4, LK: true})
+	roundTrip(t, Inst{Op: OpB, Imm: 0x100, AA: true})
+	roundTrip(t, Inst{Op: OpBc, BO: 12, BI: 2, Imm: 16})
+	roundTrip(t, Inst{Op: OpBc, BO: 4, BI: 0, Imm: -32, LK: true})
+	roundTrip(t, Inst{Op: OpBc, BO: 16, BI: 0, Imm: -8}) // bdnz
+	roundTrip(t, Inst{Op: OpBclr, BO: 20, BI: 0})
+	roundTrip(t, Inst{Op: OpBcctr, BO: 20, BI: 0, LK: true})
+	roundTrip(t, Inst{Op: OpBclr, BO: 12, BI: 10})
+}
+
+func TestRoundTripXForm(t *testing.T) {
+	ops := []Opcode{OpAdd, OpAddc, OpAdde, OpSubf, OpSubfc, OpSubfe,
+		OpMullw, OpMulhwu, OpDivw, OpDivwu, OpAnd, OpAndc, OpOr, OpNor,
+		OpXor, OpNand, OpSlw, OpSrw, OpSraw}
+	for _, op := range ops {
+		roundTrip(t, Inst{Op: op, RT: 1, RA: 2, RB: 3})
+		roundTrip(t, Inst{Op: op, RT: 31, RA: 30, RB: 29, Rc: true})
+	}
+	roundTrip(t, Inst{Op: OpNeg, RT: 1, RA: 2})
+	roundTrip(t, Inst{Op: OpCntlzw, RT: 1, RA: 2})
+	roundTrip(t, Inst{Op: OpExtsb, RT: 1, RA: 2, Rc: true})
+	roundTrip(t, Inst{Op: OpExtsh, RT: 1, RA: 2})
+	roundTrip(t, Inst{Op: OpSrawi, RT: 4, RA: 5, SH: 31})
+}
+
+func TestRoundTripRotates(t *testing.T) {
+	roundTrip(t, Inst{Op: OpRlwinm, RT: 1, RA: 2, SH: 3, MB: 0, ME: 28})
+	roundTrip(t, Inst{Op: OpRlwinm, RT: 1, RA: 2, SH: 0, MB: 24, ME: 31, Rc: true})
+	roundTrip(t, Inst{Op: OpRlwimi, RT: 1, RA: 2, SH: 8, MB: 16, ME: 23})
+}
+
+func TestRoundTripSPRAndCR(t *testing.T) {
+	roundTrip(t, Inst{Op: OpMfspr, RT: 1, SPR: SprLR})
+	roundTrip(t, Inst{Op: OpMfspr, RT: 2, SPR: SprCTR})
+	roundTrip(t, Inst{Op: OpMtspr, RT: 3, SPR: SprXER})
+	roundTrip(t, Inst{Op: OpMfcr, RT: 9})
+	roundTrip(t, Inst{Op: OpMtcrf, RT: 9, FXM: 0x80})
+	roundTrip(t, Inst{Op: OpMtcrf, RT: 9, FXM: 0xff})
+	roundTrip(t, Inst{Op: OpCrand, RT: 0, RA: 4, RB: 8})
+	roundTrip(t, Inst{Op: OpCror, RT: 31, RA: 30, RB: 29})
+	roundTrip(t, Inst{Op: OpCrxor, RT: 1, RA: 1, RB: 1})
+	roundTrip(t, Inst{Op: OpCrnand, RT: 2, RA: 3, RB: 4})
+	roundTrip(t, Inst{Op: OpCrnor, RT: 5, RA: 6, RB: 7})
+	roundTrip(t, Inst{Op: OpMcrf, CRF: 1, CRFA: 7})
+	roundTrip(t, Inst{Op: OpSync})
+	roundTrip(t, Inst{Op: OpSc})
+}
+
+func TestRoundTripMemory(t *testing.T) {
+	dOps := []Opcode{OpLwz, OpLwzu, OpLbz, OpLbzu, OpLhz, OpLhzu, OpLha,
+		OpStw, OpStwu, OpStb, OpStbu, OpSth, OpSthu, OpLmw, OpStmw}
+	for _, op := range dOps {
+		roundTrip(t, Inst{Op: op, RT: 3, RA: 1, Imm: -4})
+		roundTrip(t, Inst{Op: op, RT: 29, RA: 31, Imm: 0x7ffc})
+	}
+	xOps := []Opcode{OpLwzx, OpLbzx, OpLhzx, OpStwx, OpStbx, OpSthx}
+	for _, op := range xOps {
+		roundTrip(t, Inst{Op: op, RT: 3, RA: 1, RB: 2})
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpB, Imm: 1},                // unaligned
+		{Op: OpB, Imm: 0x2000000},        // out of range
+		{Op: OpBc, Imm: 2},               // unaligned
+		{Op: OpBc, Imm: 0x8000},          // out of range
+		{Op: OpLwz, RT: 1, Imm: 0x8000},  // displacement too large
+		{Op: OpStw, RT: 1, Imm: -0x8001}, // displacement too small
+		{Op: OpIllegal},                  // not encodable
+		{Op: Opcode(numOpcodes-1) + 10},  // bogus opcode
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v): expected error", in)
+		}
+	}
+}
+
+// TestDecodeFuzz checks that Decode never panics and that any instruction
+// it recognizes re-encodes to a word that decodes identically (decode is a
+// projection: decode(encode(decode(w))) == decode(w)).
+func TestDecodeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		w := rng.Uint32()
+		in := Decode(w)
+		if in.Op == OpIllegal {
+			continue
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("word %#08x decoded to %+v which does not re-encode: %v", w, in, err)
+		}
+		in2 := Decode(w2)
+		in.Raw, in2.Raw = 0, 0
+		if in != in2 {
+			t.Fatalf("decode not stable for %#08x: %+v vs %+v", w, in, in2)
+		}
+	}
+}
+
+func TestRotateMask(t *testing.T) {
+	cases := []struct {
+		mb, me uint8
+		want   uint32
+	}{
+		{0, 31, 0xffffffff},
+		{0, 0, 0x80000000},
+		{31, 31, 0x00000001},
+		{24, 31, 0x000000ff},
+		{0, 7, 0xff000000},
+		{16, 23, 0x0000ff00},
+		{29, 2, 0xe0000007}, // wrap-around
+	}
+	for _, c := range cases {
+		if got := RotateMask(c.mb, c.me); got != c.want {
+			t.Errorf("RotateMask(%d,%d) = %#x, want %#x", c.mb, c.me, got, c.want)
+		}
+	}
+}
+
+func TestCRHelpers(t *testing.T) {
+	cr := uint32(0)
+	cr = SetCRField(cr, 0, 0x8)
+	cr = SetCRField(cr, 7, 0x2)
+	if CRField(cr, 0) != 0x8 || CRField(cr, 7) != 0x2 || CRField(cr, 3) != 0 {
+		t.Fatalf("CR field get/set broken: %#08x", cr)
+	}
+	if !CRBit(cr, 0) || CRBit(cr, 1) || !CRBit(cr, 30) {
+		t.Fatalf("CR bit get broken: %#08x", cr)
+	}
+	cr = SetCRBit(cr, 5, true)
+	if !CRBit(cr, 5) {
+		t.Fatal("SetCRBit failed to set")
+	}
+	cr = SetCRBit(cr, 5, false)
+	if CRBit(cr, 5) {
+		t.Fatal("SetCRBit failed to clear")
+	}
+}
+
+func TestCRHelperProperties(t *testing.T) {
+	setGet := func(cr uint32, f, v uint8) bool {
+		f &= 7
+		return CRField(SetCRField(cr, f, v), f) == v&0xf
+	}
+	if err := quick.Check(setGet, nil); err != nil {
+		t.Error(err)
+	}
+	otherFields := func(cr uint32, f, v uint8) bool {
+		f &= 7
+		n := SetCRField(cr, f, v)
+		for g := uint8(0); g < 8; g++ {
+			if g != f && CRField(n, g) != CRField(cr, g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(otherFields, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareHelpers(t *testing.T) {
+	if f := CompareSigned(-1, 1, 0); f != 0x8 {
+		t.Errorf("signed LT: got %#x", f)
+	}
+	if f := CompareSigned(1, -1, 0); f != 0x4 {
+		t.Errorf("signed GT: got %#x", f)
+	}
+	if f := CompareSigned(5, 5, 0); f != 0x2 {
+		t.Errorf("signed EQ: got %#x", f)
+	}
+	if f := CompareSigned(5, 5, XerSO); f != 0x3 {
+		t.Errorf("SO copy: got %#x", f)
+	}
+	if f := CompareUnsigned(0xffffffff, 1, 0); f != 0x4 {
+		t.Errorf("unsigned GT: got %#x", f)
+	}
+	if f := CompareUnsigned(1, 0xffffffff, 0); f != 0x8 {
+		t.Errorf("unsigned LT: got %#x", f)
+	}
+}
+
+func TestBranchPredicates(t *testing.T) {
+	bAlways := Inst{Op: OpBc, BO: 20, BI: 0}
+	if !bAlways.BranchAlways() || bAlways.UsesCond() || bAlways.DecrementsCTR() {
+		t.Error("BO=20 should be unconditional")
+	}
+	bTrue := Inst{Op: OpBc, BO: 12, BI: 2}
+	if bTrue.BranchAlways() || !bTrue.UsesCond() || !bTrue.CondSense() {
+		t.Error("BO=12 should be branch-if-true")
+	}
+	bFalse := Inst{Op: OpBc, BO: 4, BI: 2}
+	if !bFalse.UsesCond() || bFalse.CondSense() {
+		t.Error("BO=4 should be branch-if-false")
+	}
+	bdnz := Inst{Op: OpBc, BO: 16, BI: 0}
+	if bdnz.UsesCond() || !bdnz.DecrementsCTR() || bdnz.BranchOnCTRZero() {
+		t.Error("BO=16 should be decrement-and-branch-if-nonzero")
+	}
+	bdz := Inst{Op: OpBc, BO: 18, BI: 0}
+	if !bdz.DecrementsCTR() || !bdz.BranchOnCTRZero() {
+		t.Error("BO=18 should be decrement-and-branch-if-zero")
+	}
+}
+
+func TestDisassemblyStrings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAddi, RT: 1, RA: 2, Imm: 3}, "addi r1,r2,3"},
+		{Inst{Op: OpAdd, RT: 1, RA: 2, RB: 3, Rc: true}, "add. r1,r2,r3"},
+		{Inst{Op: OpLwz, RT: 5, RA: 1, Imm: -8}, "lwz r5,-8(r1)"},
+		{Inst{Op: OpCmpi, CRF: 0, RA: 3, Imm: 0}, "cmpwi cr0,r3,0"},
+		{Inst{Op: OpB, Imm: 16}, "b 0x10"},
+		{Inst{Op: OpB, Imm: 16, LK: true}, "bl 0x10"},
+		{Inst{Op: OpSc}, "sc"},
+		{Inst{Op: OpIllegal, Raw: 0xdeadbeef}, ".word 0xdeadbeef"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStateDiffAndSPR(t *testing.T) {
+	var a, b State
+	if !a.Equal(&b) || a.Diff(&b) != "" {
+		t.Fatal("zero states should be equal")
+	}
+	b.GPR[3] = 7
+	b.LR = 0x100
+	if a.Equal(&b) || a.Diff(&b) == "" {
+		t.Fatal("modified state should differ")
+	}
+	if err := a.WriteSPR(SprLR, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.ReadSPR(SprLR); err != nil || v != 42 {
+		t.Fatalf("LR = %d, %v", v, err)
+	}
+	if err := a.WriteSPR(SprCTR, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.ReadSPR(SprCTR); v != 9 {
+		t.Fatal("CTR readback")
+	}
+	if _, err := a.ReadSPR(SPR(999)); err == nil {
+		t.Fatal("expected error for unknown SPR")
+	}
+	if err := a.WriteSPR(SPR(999), 1); err == nil {
+		t.Fatal("expected error for unknown SPR write")
+	}
+}
+
+func TestRoundTripRfiAndNewSPRs(t *testing.T) {
+	roundTrip(t, Inst{Op: OpRfi})
+	for _, spr := range []SPR{SprDSISR, SprDAR, SprSDR1, SprSRR0, SprSRR1} {
+		roundTrip(t, Inst{Op: OpMtspr, RT: 7, SPR: spr})
+		roundTrip(t, Inst{Op: OpMfspr, RT: 7, SPR: spr})
+	}
+	var st State
+	for _, spr := range []SPR{SprDSISR, SprDAR, SprSDR1, SprSRR0, SprSRR1} {
+		if err := st.WriteSPR(spr, uint32(spr)*3); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := st.ReadSPR(spr); err != nil || v != uint32(spr)*3 {
+			t.Fatalf("SPR %d readback: %d, %v", spr, v, err)
+		}
+	}
+}

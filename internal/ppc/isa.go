@@ -1,0 +1,422 @@
+// Package ppc defines the base architecture emulated by DAISY: a 32-bit
+// PowerPC subset with genuine PowerPC instruction formats (D, X, XO, B, I,
+// M, XL, XFX forms), its architected state, and an encoder / decoder /
+// disassembler for the subset.
+//
+// The paper calls this the "base architecture"; the VLIW that emulates it is
+// the "migrant architecture" (internal/vliw). Everything the translator and
+// interpreter consume is the decoded Inst form produced here.
+package ppc
+
+import "fmt"
+
+// Reg is a general purpose register number, 0..31.
+type Reg uint8
+
+// SPR identifies a special purpose register in mtspr/mfspr encodings.
+type SPR uint16
+
+// Special purpose register numbers (PowerPC encoding).
+const (
+	SprXER   SPR = 1
+	SprLR    SPR = 8
+	SprCTR   SPR = 9
+	SprDSISR SPR = 18
+	SprDAR   SPR = 19
+	SprSDR1  SPR = 25 // page table base
+	SprSRR0  SPR = 26
+	SprSRR1  SPR = 27
+)
+
+// XER bit masks. PowerPC numbers bits from the MSB; SO is bit 0.
+const (
+	XerSO uint32 = 0x80000000 // summary overflow
+	XerOV uint32 = 0x40000000 // overflow
+	XerCA uint32 = 0x20000000 // carry
+)
+
+// CR field bit positions within a 4-bit condition register field.
+const (
+	CrLT = 0 // negative / less than
+	CrGT = 1 // positive / greater than
+	CrEQ = 2 // zero / equal
+	CrSO = 3 // summary overflow copy
+)
+
+// Opcode enumerates the decoded instruction subset.
+type Opcode uint8
+
+// The instruction subset. Names follow PowerPC mnemonics; RC variants are
+// expressed with the Inst.Rc flag rather than separate opcodes, except for
+// andi./addic. where the dot is architecturally mandatory.
+const (
+	OpIllegal Opcode = iota
+
+	// D-form arithmetic / logic with immediate.
+	OpAddi
+	OpAddis
+	OpAddic   // addic: carrying
+	OpAddicRC // addic.: carrying, records CR0
+	OpSubfic
+	OpMulli
+	OpCmpi
+	OpCmpli
+	OpOri
+	OpOris
+	OpXori
+	OpXoris
+	OpAndiRC
+	OpAndisRC
+
+	// Branches and system call.
+	OpB     // I-form, AA/LK
+	OpBc    // B-form, BO/BI/BD/AA/LK
+	OpBclr  // XL-form via link register
+	OpBcctr // XL-form via count register
+	OpSc
+
+	// Condition register logical (XL-form).
+	OpCrand
+	OpCror
+	OpCrxor
+	OpCrnand
+	OpCrnor
+	OpMcrf
+
+	// M-form rotates.
+	OpRlwinm
+	OpRlwimi
+
+	// X / XO form register-register.
+	OpAdd
+	OpAddc
+	OpAdde
+	OpSubf
+	OpSubfc
+	OpSubfe
+	OpNeg
+	OpMullw
+	OpMulhwu
+	OpDivw
+	OpDivwu
+	OpAnd
+	OpAndc
+	OpOr
+	OpNor
+	OpXor
+	OpNand
+	OpSlw
+	OpSrw
+	OpSraw
+	OpSrawi
+	OpCntlzw
+	OpExtsb
+	OpExtsh
+	OpCmp
+	OpCmpl
+
+	// Special register moves.
+	OpMfspr
+	OpMtspr
+	OpMfcr
+	OpMtcrf
+
+	// D-form loads and stores (with update variants).
+	OpLwz
+	OpLwzu
+	OpLbz
+	OpLbzu
+	OpLhz
+	OpLhzu
+	OpLha
+	OpStw
+	OpStwu
+	OpStb
+	OpStbu
+	OpSth
+	OpSthu
+	OpLmw // load multiple word: the subset's restartable "CISC" op
+	OpStmw
+
+	// X-form indexed loads and stores.
+	OpLwzx
+	OpLbzx
+	OpLhzx
+	OpStwx
+	OpStbx
+	OpSthx
+
+	OpSync
+	OpRfi // return from interrupt: MSR := SRR1, PC := SRR0
+
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	OpIllegal: "<illegal>",
+	OpAddi:    "addi", OpAddis: "addis", OpAddic: "addic", OpAddicRC: "addic.",
+	OpSubfic: "subfic", OpMulli: "mulli", OpCmpi: "cmpwi", OpCmpli: "cmplwi",
+	OpOri: "ori", OpOris: "oris", OpXori: "xori", OpXoris: "xoris",
+	OpAndiRC: "andi.", OpAndisRC: "andis.",
+	OpB: "b", OpBc: "bc", OpBclr: "bclr", OpBcctr: "bcctr", OpSc: "sc",
+	OpCrand: "crand", OpCror: "cror", OpCrxor: "crxor", OpCrnand: "crnand",
+	OpCrnor: "crnor", OpMcrf: "mcrf",
+	OpRlwinm: "rlwinm", OpRlwimi: "rlwimi",
+	OpAdd: "add", OpAddc: "addc", OpAdde: "adde", OpSubf: "subf",
+	OpSubfc: "subfc", OpSubfe: "subfe", OpNeg: "neg",
+	OpMullw: "mullw", OpMulhwu: "mulhwu", OpDivw: "divw", OpDivwu: "divwu",
+	OpAnd: "and", OpAndc: "andc", OpOr: "or", OpNor: "nor", OpXor: "xor",
+	OpNand: "nand", OpSlw: "slw", OpSrw: "srw", OpSraw: "sraw",
+	OpSrawi: "srawi", OpCntlzw: "cntlzw", OpExtsb: "extsb", OpExtsh: "extsh",
+	OpCmp: "cmpw", OpCmpl: "cmplw",
+	OpMfspr: "mfspr", OpMtspr: "mtspr", OpMfcr: "mfcr", OpMtcrf: "mtcrf",
+	OpLwz: "lwz", OpLwzu: "lwzu", OpLbz: "lbz", OpLbzu: "lbzu",
+	OpLhz: "lhz", OpLhzu: "lhzu", OpLha: "lha",
+	OpStw: "stw", OpStwu: "stwu", OpStb: "stb", OpStbu: "stbu",
+	OpSth: "sth", OpSthu: "sthu", OpLmw: "lmw", OpStmw: "stmw",
+	OpLwzx: "lwzx", OpLbzx: "lbzx", OpLhzx: "lhzx",
+	OpStwx: "stwx", OpStbx: "stbx", OpSthx: "sthx",
+	OpSync: "sync", OpRfi: "rfi",
+}
+
+// String returns the base mnemonic for the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Inst is one decoded base-architecture instruction.
+//
+// Field use depends on the opcode. For stores RT holds the source register
+// (PowerPC's RS occupies the same bit field). For cr-logical ops RT/RA/RB
+// hold BT/BA/BB condition bit numbers.
+type Inst struct {
+	Op   Opcode
+	RT   Reg   // target (or source for stores; BT for cr-logical)
+	RA   Reg   // operand A (BA for cr-logical)
+	RB   Reg   // operand B (BB for cr-logical)
+	Imm  int32 // SIMM / UIMM / displacement
+	CRF  uint8 // destination CR field for compares, mcrf
+	CRFA uint8 // source CR field for mcrf
+	BO   uint8 // branch options
+	BI   uint8 // branch condition bit
+	SH   uint8 // rlwinm / srawi shift
+	MB   uint8 // rlwinm mask begin
+	ME   uint8 // rlwinm mask end
+	SPR  SPR   // mtspr/mfspr target
+	FXM  uint8 // mtcrf field mask
+	LK   bool  // link
+	AA   bool  // absolute address
+	Rc   bool  // record CR0
+	Raw  uint32
+}
+
+// BranchAlways reports whether a bc/bclr/bcctr BO field ignores both the
+// condition bit and the count register (an unconditional form).
+func (i Inst) BranchAlways() bool {
+	return i.BO&0x10 != 0 && i.BO&0x04 != 0
+}
+
+// DecrementsCTR reports whether the BO field asks for CTR decrement.
+func (i Inst) DecrementsCTR() bool { return i.BO&0x04 == 0 }
+
+// UsesCond reports whether the BO field tests a CR bit.
+func (i Inst) UsesCond() bool { return i.BO&0x10 == 0 }
+
+// CondSense reports the CR bit value that satisfies the condition.
+func (i Inst) CondSense() bool { return i.BO&0x08 != 0 }
+
+// BranchOnCTRZero reports whether the CTR test requires CTR==0 after
+// decrement (only meaningful when DecrementsCTR).
+func (i Inst) BranchOnCTRZero() bool { return i.BO&0x02 != 0 }
+
+// IsBranch reports whether the instruction redirects control flow.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case OpB, OpBc, OpBclr, OpBcctr:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool {
+	switch i.Op {
+	case OpLwz, OpLwzu, OpLbz, OpLbzu, OpLhz, OpLhzu, OpLha,
+		OpLwzx, OpLbzx, OpLhzx, OpLmw:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool {
+	switch i.Op {
+	case OpStw, OpStwu, OpStb, OpStbu, OpSth, OpSthu, OpStwx, OpStbx, OpSthx, OpStmw:
+		return true
+	}
+	return false
+}
+
+// MemSize returns the access width in bytes for loads/stores (4 for the
+// multiple forms, which are cracked into word accesses).
+func (i Inst) MemSize() int {
+	switch i.Op {
+	case OpLbz, OpLbzu, OpLbzx, OpStb, OpStbu, OpStbx:
+		return 1
+	case OpLhz, OpLhzu, OpLha, OpLhzx, OpSth, OpSthu, OpSthx:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpIllegal:
+		return fmt.Sprintf(".word 0x%08x", i.Raw)
+	case OpAddi, OpAddis, OpAddic, OpAddicRC, OpSubfic, OpMulli:
+		return fmt.Sprintf("%s r%d,r%d,%d", i.Op, i.RT, i.RA, i.Imm)
+	case OpCmpi:
+		return fmt.Sprintf("cmpwi cr%d,r%d,%d", i.CRF, i.RA, i.Imm)
+	case OpCmpli:
+		return fmt.Sprintf("cmplwi cr%d,r%d,%d", i.CRF, i.RA, uint32(i.Imm))
+	case OpOri, OpOris, OpXori, OpXoris, OpAndiRC, OpAndisRC:
+		return fmt.Sprintf("%s r%d,r%d,%d", i.Op, i.RA, i.RT, uint32(i.Imm)&0xffff)
+	case OpB:
+		return fmt.Sprintf("b%s%s 0x%x", lk(i.LK), aa(i.AA), uint32(i.Imm))
+	case OpBc:
+		return fmt.Sprintf("bc%s%s %d,%d,0x%x", lk(i.LK), aa(i.AA), i.BO, i.BI, uint32(i.Imm))
+	case OpBclr:
+		return fmt.Sprintf("bclr%s %d,%d", lk(i.LK), i.BO, i.BI)
+	case OpBcctr:
+		return fmt.Sprintf("bcctr%s %d,%d", lk(i.LK), i.BO, i.BI)
+	case OpSc:
+		return "sc"
+	case OpCrand, OpCror, OpCrxor, OpCrnand, OpCrnor:
+		return fmt.Sprintf("%s %d,%d,%d", i.Op, i.RT, i.RA, i.RB)
+	case OpMcrf:
+		return fmt.Sprintf("mcrf cr%d,cr%d", i.CRF, i.CRFA)
+	case OpRlwinm, OpRlwimi:
+		return fmt.Sprintf("%s%s r%d,r%d,%d,%d,%d", i.Op, rc(i.Rc), i.RA, i.RT, i.SH, i.MB, i.ME)
+	case OpAdd, OpAddc, OpAdde, OpSubf, OpSubfc, OpSubfe, OpMullw, OpMulhwu,
+		OpDivw, OpDivwu, OpSlw, OpSrw, OpSraw:
+		return fmt.Sprintf("%s%s r%d,r%d,r%d", i.Op, rc(i.Rc), i.RT, i.RA, i.RB)
+	case OpAnd, OpAndc, OpOr, OpNor, OpXor, OpNand:
+		return fmt.Sprintf("%s%s r%d,r%d,r%d", i.Op, rc(i.Rc), i.RA, i.RT, i.RB)
+	case OpNeg:
+		return fmt.Sprintf("neg%s r%d,r%d", rc(i.Rc), i.RT, i.RA)
+	case OpSrawi:
+		return fmt.Sprintf("srawi%s r%d,r%d,%d", rc(i.Rc), i.RA, i.RT, i.SH)
+	case OpCntlzw, OpExtsb, OpExtsh:
+		return fmt.Sprintf("%s%s r%d,r%d", i.Op, rc(i.Rc), i.RA, i.RT)
+	case OpCmp:
+		return fmt.Sprintf("cmpw cr%d,r%d,r%d", i.CRF, i.RA, i.RB)
+	case OpCmpl:
+		return fmt.Sprintf("cmplw cr%d,r%d,r%d", i.CRF, i.RA, i.RB)
+	case OpMfspr:
+		return fmt.Sprintf("mfspr r%d,%d", i.RT, i.SPR)
+	case OpMtspr:
+		return fmt.Sprintf("mtspr %d,r%d", i.SPR, i.RT)
+	case OpMfcr:
+		return fmt.Sprintf("mfcr r%d", i.RT)
+	case OpMtcrf:
+		return fmt.Sprintf("mtcrf 0x%02x,r%d", i.FXM, i.RT)
+	case OpLwz, OpLwzu, OpLbz, OpLbzu, OpLhz, OpLhzu, OpLha,
+		OpStw, OpStwu, OpStb, OpStbu, OpSth, OpSthu, OpLmw, OpStmw:
+		return fmt.Sprintf("%s r%d,%d(r%d)", i.Op, i.RT, i.Imm, i.RA)
+	case OpLwzx, OpLbzx, OpLhzx, OpStwx, OpStbx, OpSthx:
+		return fmt.Sprintf("%s r%d,r%d,r%d", i.Op, i.RT, i.RA, i.RB)
+	case OpSync:
+		return "sync"
+	case OpRfi:
+		return "rfi"
+	}
+	return i.Op.String()
+}
+
+func lk(b bool) string {
+	if b {
+		return "l"
+	}
+	return ""
+}
+
+func aa(b bool) string {
+	if b {
+		return "a"
+	}
+	return ""
+}
+
+func rc(b bool) string {
+	if b {
+		return "."
+	}
+	return ""
+}
+
+// RotateMask builds the rlwinm mask selecting bits MB through ME in
+// PowerPC big-endian bit numbering (bit 0 is the MSB). MB > ME produces the
+// wrap-around mask.
+func RotateMask(mb, me uint8) uint32 {
+	start := uint32(0xffffffff) >> mb
+	end := uint32(0xffffffff) << (31 - me)
+	if mb <= me {
+		return start & end
+	}
+	return start | end
+}
+
+// CRField extracts 4-bit field f (0..7, field 0 at the MSB end) of cr.
+func CRField(cr uint32, f uint8) uint8 {
+	return uint8(cr>>(28-4*uint(f))) & 0xf
+}
+
+// SetCRField returns cr with field f replaced by v.
+func SetCRField(cr uint32, f uint8, v uint8) uint32 {
+	sh := 28 - 4*uint(f)
+	return (cr &^ (0xf << sh)) | uint32(v&0xf)<<sh
+}
+
+// CRBit extracts condition bit n (0..31, bit 0 at the MSB end) of cr.
+func CRBit(cr uint32, n uint8) bool { return cr>>(31-uint(n))&1 != 0 }
+
+// SetCRBit returns cr with bit n set to v.
+func SetCRBit(cr uint32, n uint8, v bool) uint32 {
+	m := uint32(1) << (31 - uint(n))
+	if v {
+		return cr | m
+	}
+	return cr &^ m
+}
+
+// CompareSigned builds the 4-bit CR field for a signed compare, with the SO
+// bit copied from xer.
+func CompareSigned(a, b int32, xer uint32) uint8 {
+	return compareResult(a < b, a > b, xer)
+}
+
+// CompareUnsigned builds the 4-bit CR field for an unsigned compare.
+func CompareUnsigned(a, b uint32, xer uint32) uint8 {
+	return compareResult(a < b, a > b, xer)
+}
+
+func compareResult(lt, gt bool, xer uint32) uint8 {
+	var f uint8
+	switch {
+	case lt:
+		f = 8 // LT is the MSB of the field
+	case gt:
+		f = 4
+	default:
+		f = 2
+	}
+	if xer&XerSO != 0 {
+		f |= 1
+	}
+	return f
+}

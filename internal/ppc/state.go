@@ -1,0 +1,121 @@
+package ppc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MSR bit masks (a minimal subset of the PowerPC machine state register).
+const (
+	MsrEE uint32 = 0x00008000 // external interrupts enabled
+	MsrPR uint32 = 0x00004000 // problem (user) state
+	MsrIR uint32 = 0x00000020 // instruction address relocation (unsupported)
+	MsrDR uint32 = 0x00000010 // data address relocation enabled
+)
+
+// Exception vectors (PowerPC fixed offsets).
+const (
+	VecDSI uint32 = 0x300 // data storage interrupt
+)
+
+// State is the complete architected state of the base architecture. It is
+// exactly what the VMM must reproduce at every precise-exception point: the
+// VLIW's non-architected registers and exception tags are deliberately not
+// part of it (§2.1 — "they are invisible to the base architecture operating
+// system").
+type State struct {
+	GPR [32]uint32
+	CR  uint32
+	LR  uint32
+	CTR uint32
+	XER uint32
+	PC  uint32
+	MSR uint32
+
+	// Exception delivery registers (§3.3).
+	SRR0  uint32 // address of interrupting instruction
+	SRR1  uint32 // saved MSR
+	DAR   uint32 // faulting data address
+	DSISR uint32 // storage exception cause bits
+
+	// SDR1 is the guest page table base (data relocation, Chapter 4).
+	SDR1 uint32
+}
+
+// Equal reports whether two states agree on every architected register.
+func (s *State) Equal(o *State) bool { return *s == *o }
+
+// Diff describes the registers in which s and o differ, for test failure
+// messages. It returns "" when the states are equal.
+func (s *State) Diff(o *State) string {
+	var b strings.Builder
+	for i := range s.GPR {
+		if s.GPR[i] != o.GPR[i] {
+			fmt.Fprintf(&b, "r%d: %#x != %#x; ", i, s.GPR[i], o.GPR[i])
+		}
+	}
+	named := []struct {
+		name string
+		a, b uint32
+	}{
+		{"cr", s.CR, o.CR}, {"lr", s.LR, o.LR}, {"ctr", s.CTR, o.CTR},
+		{"xer", s.XER, o.XER}, {"pc", s.PC, o.PC}, {"msr", s.MSR, o.MSR},
+		{"srr0", s.SRR0, o.SRR0}, {"srr1", s.SRR1, o.SRR1},
+		{"dar", s.DAR, o.DAR}, {"dsisr", s.DSISR, o.DSISR},
+		{"sdr1", s.SDR1, o.SDR1},
+	}
+	for _, n := range named {
+		if n.a != n.b {
+			fmt.Fprintf(&b, "%s: %#x != %#x; ", n.name, n.a, n.b)
+		}
+	}
+	return b.String()
+}
+
+// ReadSPR reads a special purpose register by number.
+func (s *State) ReadSPR(n SPR) (uint32, error) {
+	switch n {
+	case SprXER:
+		return s.XER, nil
+	case SprLR:
+		return s.LR, nil
+	case SprCTR:
+		return s.CTR, nil
+	case SprDSISR:
+		return s.DSISR, nil
+	case SprDAR:
+		return s.DAR, nil
+	case SprSDR1:
+		return s.SDR1, nil
+	case SprSRR0:
+		return s.SRR0, nil
+	case SprSRR1:
+		return s.SRR1, nil
+	}
+	return 0, fmt.Errorf("ppc: unimplemented SPR %d", n)
+}
+
+// WriteSPR writes a special purpose register by number.
+func (s *State) WriteSPR(n SPR, v uint32) error {
+	switch n {
+	case SprXER:
+		s.XER = v
+	case SprLR:
+		s.LR = v
+	case SprCTR:
+		s.CTR = v
+	case SprDSISR:
+		s.DSISR = v
+	case SprDAR:
+		s.DAR = v
+	case SprSDR1:
+		s.SDR1 = v
+	case SprSRR0:
+		s.SRR0 = v
+	case SprSRR1:
+		s.SRR1 = v
+	default:
+		return fmt.Errorf("ppc: unimplemented SPR %d", n)
+	}
+	return nil
+}

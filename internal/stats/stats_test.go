@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Program", "ILP", "Count")
+	tb.Row("compress", 6.5, uint64(1234567))
+	tb.Row("wc", 3.0, uint64(12))
+	out := tb.String()
+	for _, want := range []string{"Table X", "Program", "compress", "6.50", "1,234,567", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[uint64]string{
+		0: "0", 7: "7", 999: "999", 1000: "1,000",
+		1234567: "1,234,567", 45693050: "45,693,050",
+	}
+	for n, want := range cases {
+		if got := Comma(n); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{2, 8}
+	if Mean(xs) != 5 {
+		t.Fatal("mean")
+	}
+	if math.Abs(GeoMean(xs)-4) > 1e-9 {
+		t.Fatal("geomean")
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty means")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive geomean")
+	}
+}
+
+func TestFormatInts(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.Row(3)
+	tb.Row(123456)
+	tb.Row(1e6)
+	out := tb.String()
+	if !strings.Contains(out, "123,456") || !strings.Contains(out, "1000000") {
+		t.Errorf("int formatting:\n%s", out)
+	}
+}

@@ -1,0 +1,371 @@
+// Package superscalar is a timing model of a PowerPC-604E-class machine,
+// the hardware comparison point of Table 5.3. It replays the reference
+// interpreter's dynamic instruction stream through an in-order multi-issue
+// pipeline with a register scoreboard, a 2-bit branch predictor and
+// blocking finite caches. Only the *magnitude* of its IPC matters for the
+// table's shape (the paper measures 0.2-1.2 on real hardware).
+package superscalar
+
+import (
+	"errors"
+	"fmt"
+
+	"daisy/internal/asm"
+	"daisy/internal/cache"
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+	"daisy/internal/ppc"
+)
+
+// Model parameterizes the pipeline.
+type Model struct {
+	Width           int    // issue width per cycle
+	MispredictCost  uint64 // cycles lost on a branch misprediction
+	LoadUseLatency  uint64 // load-to-use latency on an L1 hit
+	MulLatency      uint64
+	DivLatency      uint64
+	PredictorExp    uint   // log2 of the 2-bit predictor table size
+	CacheLineFetch  uint32 // fetch granularity for the I-cache
+	BranchPerCycle  int    // branches issued per cycle
+	MemPortsPerCyc  int    // loads/stores per cycle
+	SerializeMtspr  bool   // mtspr/mfcr drain the pipeline
+	DrainAtSyscalls bool
+}
+
+// Default604 approximates a 604E: 4-issue in-order front end, one branch
+// and two memory operations per cycle.
+func Default604() Model {
+	return Model{
+		Width:           4,
+		MispredictCost:  4,
+		LoadUseLatency:  2,
+		MulLatency:      4,
+		DivLatency:      20,
+		PredictorExp:    10,
+		CacheLineFetch:  16,
+		BranchPerCycle:  1,
+		MemPortsPerCyc:  2,
+		SerializeMtspr:  true,
+		DrainAtSyscalls: true,
+	}
+}
+
+// Result reports the measured run.
+type Result struct {
+	IPC    float64
+	Cycles uint64
+	Insts  uint64
+}
+
+type scoreboard struct {
+	gpr [32]uint64
+	cr  [8]uint64
+	lr  uint64
+	ctr uint64
+	xer uint64
+}
+
+type sim struct {
+	model Model
+	h     *cache.Hierarchy
+	sb    scoreboard
+
+	clock  uint64 // current issue cycle
+	slots  int    // instructions issued this cycle
+	brs    int    // branches issued this cycle
+	memOps int
+
+	pred      []uint8
+	lastFetch uint32
+}
+
+// Run measures a program's IPC on the model with the given hierarchy
+// (pass nil for perfect caches).
+func Run(m Model, prog *asm.Program, input []byte, h *cache.Hierarchy, memSize uint32) (Result, error) {
+	mm := mem.New(memSize)
+	if err := prog.Load(mm); err != nil {
+		return Result{}, err
+	}
+	s := &sim{model: m, h: h, pred: make([]uint8, 1<<m.PredictorExp), lastFetch: ^uint32(0)}
+	ip := interp.New(mm, &interp.Env{In: input}, prog.Entry())
+	ip.Trace = func(pc uint32, in ppc.Inst, st *ppc.State) { s.issue(pc, in, st) }
+	if err := ip.Run(2_000_000_000); !errors.Is(err, interp.ErrHalt) {
+		return Result{}, fmt.Errorf("superscalar: %w", err)
+	}
+	if s.clock == 0 {
+		s.clock = 1
+	}
+	return Result{
+		IPC:    float64(ip.InstCount) / float64(s.clock),
+		Cycles: s.clock,
+		Insts:  ip.InstCount,
+	}, nil
+}
+
+func (s *sim) advance(to uint64) {
+	if to > s.clock {
+		s.clock = to
+		s.slots, s.brs, s.memOps = 0, 0, 0
+	}
+}
+
+func (s *sim) nextCycle() { s.advance(s.clock + 1) }
+
+// issue models one instruction: in-order issue at the cycle its inputs are
+// ready, bounded by width and per-class ports.
+func (s *sim) issue(pc uint32, in ppc.Inst, st *ppc.State) {
+	m := &s.model
+
+	// Instruction fetch through the I-cache, one access per line.
+	if s.h != nil && pc/s.model.CacheLineFetch != s.lastFetch {
+		s.lastFetch = pc / s.model.CacheLineFetch
+		s.advance(s.clock + s.h.Fetch(pc, 4))
+	}
+
+	ready := s.srcReady(in)
+	s.advance(ready)
+	if s.slots >= m.Width {
+		s.nextCycle()
+	}
+	if in.IsBranch() && s.brs >= m.BranchPerCycle {
+		s.nextCycle()
+	}
+	if (in.IsLoad() || in.IsStore()) && s.memOps >= m.MemPortsPerCyc {
+		s.nextCycle()
+	}
+	s.slots++
+
+	lat := uint64(1)
+	switch {
+	case in.Op == ppc.OpMullw || in.Op == ppc.OpMulhwu || in.Op == ppc.OpMulli:
+		lat = m.MulLatency
+	case in.Op == ppc.OpDivw || in.Op == ppc.OpDivwu:
+		lat = m.DivLatency
+	case in.IsLoad():
+		lat = m.LoadUseLatency
+		if s.h != nil {
+			lat += s.dataStall(in, st, false)
+		}
+		s.memOps++
+	case in.IsStore():
+		if s.h != nil {
+			s.advance(s.clock + s.dataStall(in, st, true))
+		}
+		s.memOps++
+	}
+
+	if in.IsBranch() {
+		s.brs++
+		taken := s.actualTaken(in, st)
+		if s.predict(pc, taken) != taken {
+			s.advance(s.clock + m.MispredictCost)
+		}
+		if in.Op == ppc.OpBclr || in.Op == ppc.OpBcctr {
+			// Indirect targets resolve late on a 604-class machine.
+			s.advance(s.clock + 1)
+		}
+	}
+	if m.SerializeMtspr && (in.Op == ppc.OpMtspr || in.Op == ppc.OpMfcr || in.Op == ppc.OpMtcrf) {
+		s.advance(s.maxReady() + 1)
+	}
+	if m.DrainAtSyscalls && in.Op == ppc.OpSc {
+		s.advance(s.maxReady() + 2)
+	}
+
+	s.writeBack(in, s.clock+lat)
+}
+
+func (s *sim) dataStall(in ppc.Inst, st *ppc.State, write bool) uint64 {
+	ea := effectiveAddr(in, st)
+	return s.h.DataAccess(ea, in.MemSize(), write)
+}
+
+func effectiveAddr(in ppc.Inst, st *ppc.State) uint32 {
+	base := uint32(0)
+	if in.RA != 0 {
+		base = st.GPR[in.RA]
+	}
+	switch in.Op {
+	case ppc.OpLwzx, ppc.OpLbzx, ppc.OpLhzx, ppc.OpStwx, ppc.OpStbx, ppc.OpSthx:
+		return base + st.GPR[in.RB]
+	case ppc.OpLwzu, ppc.OpLbzu, ppc.OpLhzu, ppc.OpStwu, ppc.OpStbu, ppc.OpSthu:
+		return st.GPR[in.RA] + uint32(in.Imm)
+	default:
+		return base + uint32(in.Imm)
+	}
+}
+
+// predict runs the 2-bit counter and returns the prediction.
+func (s *sim) predict(pc uint32, taken bool) bool {
+	idx := (pc >> 2) & uint32(len(s.pred)-1)
+	c := s.pred[idx]
+	pred := c >= 2
+	if taken && c < 3 {
+		s.pred[idx] = c + 1
+	}
+	if !taken && c > 0 {
+		s.pred[idx] = c - 1
+	}
+	return pred
+}
+
+// actualTaken replays the branch decision (without disturbing state: the
+// interpreter has not executed the instruction yet, so CTR!=1 tests are
+// evaluated against the pre-decrement value).
+func (s *sim) actualTaken(in ppc.Inst, st *ppc.State) bool {
+	if in.Op == ppc.OpB {
+		return true
+	}
+	ctrOK := true
+	if in.Op != ppc.OpBcctr && in.DecrementsCTR() {
+		v := st.CTR - 1
+		if in.BranchOnCTRZero() {
+			ctrOK = v == 0
+		} else {
+			ctrOK = v != 0
+		}
+	}
+	condOK := true
+	if in.UsesCond() {
+		condOK = ppc.CRBit(st.CR, in.BI) == in.CondSense()
+	}
+	return ctrOK && condOK
+}
+
+func (s *sim) srcReady(in ppc.Inst) uint64 {
+	r := s.clock
+	up := func(t uint64) {
+		if t > r {
+			r = t
+		}
+	}
+	gpr := func(n ppc.Reg) { up(s.sb.gpr[n]) }
+
+	switch in.Op {
+	case ppc.OpB:
+	case ppc.OpBc, ppc.OpBclr, ppc.OpBcctr:
+		if in.UsesCond() {
+			up(s.sb.cr[in.BI/4])
+		}
+		if in.Op == ppc.OpBclr {
+			up(s.sb.lr)
+		}
+		if in.Op == ppc.OpBcctr || in.DecrementsCTR() {
+			up(s.sb.ctr)
+		}
+	case ppc.OpCrand, ppc.OpCror, ppc.OpCrxor, ppc.OpCrnand, ppc.OpCrnor:
+		up(s.sb.cr[uint8(in.RA)/4])
+		up(s.sb.cr[uint8(in.RB)/4])
+		up(s.sb.cr[uint8(in.RT)/4])
+	case ppc.OpMcrf:
+		up(s.sb.cr[in.CRFA])
+	case ppc.OpMfcr:
+		for f := 0; f < 8; f++ {
+			up(s.sb.cr[f])
+		}
+	case ppc.OpMfspr:
+		switch in.SPR {
+		case ppc.SprLR:
+			up(s.sb.lr)
+		case ppc.SprCTR:
+			up(s.sb.ctr)
+		default:
+			up(s.sb.xer)
+		}
+	default:
+		gpr(in.RA)
+		gpr(in.RB)
+		if in.IsStore() || isLogicalForm(in.Op) || in.Op == ppc.OpMtcrf || in.Op == ppc.OpMtspr {
+			gpr(in.RT) // RS is a source
+		}
+		if in.Op == ppc.OpAdde || in.Op == ppc.OpSubfe {
+			up(s.sb.xer)
+		}
+	}
+	return r
+}
+
+func isLogicalForm(op ppc.Opcode) bool {
+	switch op {
+	case ppc.OpAnd, ppc.OpAndc, ppc.OpOr, ppc.OpNor, ppc.OpXor, ppc.OpNand,
+		ppc.OpSlw, ppc.OpSrw, ppc.OpSraw, ppc.OpSrawi, ppc.OpCntlzw,
+		ppc.OpExtsb, ppc.OpExtsh, ppc.OpRlwinm, ppc.OpRlwimi,
+		ppc.OpOri, ppc.OpOris, ppc.OpXori, ppc.OpXoris,
+		ppc.OpAndiRC, ppc.OpAndisRC:
+		return true
+	}
+	return false
+}
+
+func (s *sim) maxReady() uint64 {
+	r := s.clock
+	for _, t := range s.sb.gpr {
+		if t > r {
+			r = t
+		}
+	}
+	return r
+}
+
+func (s *sim) writeBack(in ppc.Inst, done uint64) {
+	switch in.Op {
+	case ppc.OpCmpi, ppc.OpCmpli, ppc.OpCmp, ppc.OpCmpl:
+		s.sb.cr[in.CRF] = done
+	case ppc.OpCrand, ppc.OpCror, ppc.OpCrxor, ppc.OpCrnand, ppc.OpCrnor:
+		s.sb.cr[uint8(in.RT)/4] = done
+	case ppc.OpMcrf:
+		s.sb.cr[in.CRF] = done
+	case ppc.OpMtcrf:
+		for f := 0; f < 8; f++ {
+			if in.FXM&(0x80>>uint(f)) != 0 {
+				s.sb.cr[f] = done
+			}
+		}
+	case ppc.OpMtspr:
+		switch in.SPR {
+		case ppc.SprLR:
+			s.sb.lr = done
+		case ppc.SprCTR:
+			s.sb.ctr = done
+		default:
+			s.sb.xer = done
+		}
+	case ppc.OpMfspr, ppc.OpMfcr:
+		s.sb.gpr[in.RT] = done
+	case ppc.OpB, ppc.OpBc, ppc.OpBclr, ppc.OpBcctr:
+		if in.LK {
+			s.sb.lr = done
+		}
+		if in.Op != ppc.OpBcctr && in.DecrementsCTR() {
+			s.sb.ctr = done
+		}
+	case ppc.OpSc, ppc.OpSync:
+	case ppc.OpLmw:
+		for r := int(in.RT); r < 32; r++ {
+			s.sb.gpr[r] = done
+		}
+	case ppc.OpStmw:
+	default:
+		if in.IsStore() {
+			// no register result except update forms
+		} else if isLogicalForm(in.Op) {
+			s.sb.gpr[in.RA] = done
+		} else if in.IsLoad() {
+			s.sb.gpr[in.RT] = done
+		} else {
+			s.sb.gpr[in.RT] = done
+		}
+		switch in.Op {
+		case ppc.OpLwzu, ppc.OpLbzu, ppc.OpLhzu, ppc.OpStwu, ppc.OpStbu, ppc.OpSthu:
+			s.sb.gpr[in.RA] = done
+		}
+		switch in.Op {
+		case ppc.OpAddic, ppc.OpAddicRC, ppc.OpSubfic, ppc.OpAddc, ppc.OpAdde,
+			ppc.OpSubfc, ppc.OpSubfe, ppc.OpSraw, ppc.OpSrawi:
+			s.sb.xer = done
+		}
+		if in.Rc || in.Op == ppc.OpAndiRC || in.Op == ppc.OpAndisRC || in.Op == ppc.OpAddicRC {
+			s.sb.cr[0] = done
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package superscalar
+
+import (
+	"testing"
+
+	"daisy/internal/asm"
+	"daisy/internal/cache"
+	"daisy/internal/workload"
+)
+
+const memSize = 8 << 20
+
+func build(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	// A pure dependence chain cannot exceed IPC 1 on an in-order machine.
+	p := build(t, `
+_start:	li r3, 0
+	li r4, 2000
+	mtctr r4
+loop:	addi r3, r3, 1
+	addi r3, r3, 1
+	addi r3, r3, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	r, err := Run(Default604(), p, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three chained addis serialize; the bdnz issues beside them, so the
+	// ceiling is 4 instructions per 3 cycles.
+	if r.IPC > 1.4 || r.IPC < 0.5 {
+		t.Fatalf("serial chain IPC = %.2f, want ~4/3", r.IPC)
+	}
+}
+
+func TestParallelCodeBeatsSerial(t *testing.T) {
+	serial := build(t, `
+_start:	li r3, 0
+	li r4, 2000
+	mtctr r4
+loop:	addi r3, r3, 1
+	addi r3, r3, 1
+	addi r3, r3, 1
+	addi r3, r3, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	parallel := build(t, `
+_start:	li r3, 0
+	li r4, 2000
+	mtctr r4
+loop:	addi r3, r3, 1
+	addi r5, r5, 1
+	addi r6, r6, 1
+	addi r7, r7, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	rs, err := Run(Default604(), serial, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(Default604(), parallel, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.IPC <= rs.IPC {
+		t.Fatalf("independent ops (%.2f) should beat a chain (%.2f)", rp.IPC, rs.IPC)
+	}
+	if rp.IPC > float64(Default604().Width) {
+		t.Fatalf("IPC %.2f exceeds issue width", rp.IPC)
+	}
+}
+
+func TestCachesHurt(t *testing.T) {
+	// A pointer-chasing loop over a large array: finite caches must cost
+	// cycles.
+	src := `
+_start:	lis r5, 0x10       # array at 1MB
+	li r4, 3000
+	mtctr r4
+	li r6, 0
+loop:	lwzx r7, r5, r6
+	add r8, r8, r7
+	addi r6, r6, 512   # new cache line every iteration
+	andi. r6, r6, 0xffff
+	bdnz loop
+	li r0, 0
+	sc
+`
+	p := build(t, src)
+	perfect, err := Run(Default604(), p, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cache.PaperHierarchyB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finite, err := Run(Default604(), p, nil, h, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finite.IPC >= perfect.IPC {
+		t.Fatalf("finite caches (%.2f) should cost IPC vs perfect (%.2f)",
+			finite.IPC, perfect.IPC)
+	}
+}
+
+// TestWorkloadIPCRange: on the real benchmarks with finite caches, the
+// 604-class model should land in the sub-1.5 IPC region the paper reports
+// (0.2-1.2, Table 5.3).
+func TestWorkloadIPCRange(t *testing.T) {
+	h, err := cache.PaperHierarchyB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"c_sieve", "wc", "compress"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(Default604(), prog, w.Input(1), h, memSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: IPC %.2f (%d insts, %d cycles)", name, r.IPC, r.Insts, r.Cycles)
+		if r.IPC <= 0.05 || r.IPC > 2.0 {
+			t.Errorf("%s: IPC %.2f outside plausible 604E range", name, r.IPC)
+		}
+	}
+}
+
+func TestBranchPredictorLearns(t *testing.T) {
+	// Mispredictions must cost cycles on a hard-to-predict branch and
+	// almost nothing on a regular loop branch (the 2-bit counters learn).
+	alternating := build(t, `
+_start:	li r4, 4000
+	mtctr r4
+	li r3, 0
+loop:	xori r3, r3, 1
+	cmpwi r3, 0
+	beq even
+	addi r5, r5, 1
+even:	bdnz loop
+	li r0, 0
+	sc
+`)
+	regular := build(t, `
+_start:	li r4, 4000
+	mtctr r4
+loop:	addi r5, r5, 1
+	bdnz loop
+	li r0, 0
+	sc
+`)
+	free := Default604()
+	free.MispredictCost = 0
+	costly := Default604()
+	costly.MispredictCost = 8
+
+	af, err := Run(free, alternating, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := Run(costly, alternating, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Cycles <= af.Cycles {
+		t.Fatalf("mispredict cost had no effect: %d vs %d cycles", ac.Cycles, af.Cycles)
+	}
+	rf, err := Run(free, regular, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(costly, regular, nil, nil, memSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop branch is taken 3999 times in a row: after warmup the
+	// predictor is essentially perfect.
+	if float64(rc.Cycles) > float64(rf.Cycles)*1.05 {
+		t.Fatalf("regular branch should be learned: %d vs %d cycles", rc.Cycles, rf.Cycles)
+	}
+}

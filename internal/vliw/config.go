@@ -1,0 +1,73 @@
+// Package vliw models the migrant architecture: the DAISY tree-VLIW
+// machine. A VLIW instruction is a tree of condition tests over CR bits
+// with RISC-primitive parcels on its nodes and a control exit at each leaf
+// (Chapter 2 of the paper). All branch conditions are evaluated before the
+// VLIW executes and all parcels read their inputs before any output is
+// written (parallel semantics).
+//
+// The register file extends the base architecture with 32 extra GPRs
+// (r32-r63), 8 extra condition register fields (cr8-cr15), a per-register
+// exception tag (§2.1) and a per-register carry extender bit (Appendix D).
+package vliw
+
+import "fmt"
+
+// Config describes the resources one VLIW instruction may consume, in the
+// paper's <Issue - ALUs - MemAcc - Branches> notation (Figure 5.1). Issue
+// bounds ALU+memory parcels together; Branch bounds condition tests.
+type Config struct {
+	Name   string
+	Issue  int // total ALU + memory parcels per VLIW
+	ALU    int // ALU parcels per VLIW
+	Mem    int // load/store parcels per VLIW
+	Branch int // conditional branches (tree splits) per VLIW
+}
+
+// Configs are the ten machine points of Figure 5.1, smallest first.
+// Configs[9] (24-16-8-7) is the "very large" machine of Chapter 5 and
+// Configs[4] (8-8-4-3) is the 8-issue machine of Table 5.5.
+var Configs = []Config{
+	{"4-2-2-1", 4, 2, 2, 1},
+	{"4-4-2-2", 4, 4, 2, 2},
+	{"4-4-4-3", 4, 4, 4, 3},
+	{"6-6-3-3", 6, 6, 3, 3},
+	{"8-8-4-3", 8, 8, 4, 3},
+	{"8-8-4-7", 8, 8, 4, 7},
+	{"8-8-8-7", 8, 8, 8, 7},
+	{"12-12-8-7", 12, 12, 8, 7},
+	{"16-16-8-7", 16, 16, 8, 7},
+	{"24-16-8-7", 24, 16, 8, 7},
+}
+
+// BigConfig is the 24-issue tree VLIW used for the headline results.
+var BigConfig = Configs[9]
+
+// EightIssueConfig is the 8-issue machine of Table 5.5.
+var EightIssueConfig = Configs[4]
+
+// ConfigByName returns the named configuration.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range Configs {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("vliw: unknown machine configuration %q", name)
+}
+
+// RoomForALU reports whether v can accept one more ALU parcel.
+func (c Config) RoomForALU(v *VLIW) bool {
+	return v.NALU < c.ALU && v.NALU+v.NMem < c.Issue
+}
+
+// RoomForMem reports whether v can accept one more load/store parcel.
+func (c Config) RoomForMem(v *VLIW) bool {
+	return v.NMem < c.Mem && v.NALU+v.NMem < c.Issue
+}
+
+// RoomForBranch reports whether v can accept one more condition test.
+func (c Config) RoomForBranch(v *VLIW) bool {
+	return v.NBr < c.Branch
+}
+
+func (c Config) String() string { return c.Name }

@@ -1,0 +1,656 @@
+package vliw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"daisy/internal/mem"
+	"daisy/internal/ppc"
+)
+
+// Stats counts events during VLIW execution.
+type Stats struct {
+	VLIWs     uint64 // tree instructions executed to completion
+	BaseInsts uint64 // base instructions completed (EndsInst parcels)
+	Loads     uint64
+	Stores    uint64
+	Aliases   uint64 // load-verify mismatches (Table 5.7)
+	Rollbacks uint64 // VLIWs rolled back (exceptions + aliases)
+}
+
+// Fault reports that a VLIW could not complete. The register file has been
+// rolled back to the VLIW's entry state, which by construction is a precise
+// base-instruction boundary; execution resumes by interpreting from Resume.
+type Fault struct {
+	VLIW    *VLIW
+	Node    *Node // node holding the faulting parcel (nil for condition faults)
+	Parcel  int   // index within Node.Ops, -1 for condition/store-phase faults
+	Resume  uint32
+	Cause   error // underlying storage fault, nil for pure alias recovery
+	Alias   bool  // load-verify mismatch rather than an exception
+	CodeMod bool  // store into a protected (translated-code) unit (§3.2)
+}
+
+func (f *Fault) Error() string {
+	if f.CodeMod {
+		return fmt.Sprintf("vliw: store into translated code in VLIW%d, resume at %#x", f.VLIW.ID, f.Resume)
+	}
+	if f.Alias {
+		return fmt.Sprintf("vliw: load-store alias detected in VLIW%d, resume at %#x", f.VLIW.ID, f.Resume)
+	}
+	return fmt.Sprintf("vliw: exception in VLIW%d (resume %#x): %v", f.VLIW.ID, f.Resume, f.Cause)
+}
+
+func (f *Fault) Unwrap() error { return f.Cause }
+
+type specRec struct {
+	valid  bool
+	addr   uint32
+	size   uint8
+	signed bool
+}
+
+type pendingStore struct {
+	addr uint32
+	size uint8
+	val  uint32
+}
+
+// Executor runs tree VLIW instructions against a register file and the
+// base architecture's memory.
+type Executor struct {
+	Mem   *mem.Memory
+	RF    RegFile
+	Stats Stats
+
+	// OnMem observes data accesses (cache models). Stores are reported
+	// when they are applied at the end of the VLIW.
+	OnMem func(addr uint32, size int, write bool)
+	// OnFetch observes each VLIW instruction fetch (instruction cache).
+	OnFetch func(v *VLIW)
+
+	// Path holds the nodes visited by the most recent Exec call, in
+	// order; the VMM appends it to its per-group path log for the §3.5
+	// exception scan.
+	Path []*Node
+
+	// Journal, when non-nil, records each store's overwritten bytes so a
+	// group-granular checkpoint can be rolled back (the imprecise-mode
+	// recovery standing in for Appendix B's resume_vliw).
+	Journal *StoreJournal
+
+	// AddrXlate, when non-nil, maps data effective addresses through the
+	// base architecture's translation (the DTLB of Chapter 4). A fault on
+	// a speculative load tags its destination; on a committed access it
+	// rolls the VLIW back like any other storage exception.
+	AddrXlate func(vaddr uint32, write bool) (uint32, *mem.Fault)
+
+	spec [NumGPR]specRec
+}
+
+// ClearSpec discards load-verify records (used when the VMM re-enters
+// translated code from the interpreter, where no speculation is pending).
+func (e *Executor) ClearSpec() {
+	for i := range e.spec {
+		e.spec[i].valid = false
+	}
+}
+
+// Exec executes one VLIW with parallel semantics: all conditions and all
+// parcel inputs are read from the state at entry, stores are validated and
+// applied only after the whole taken path succeeds. On any fault the
+// register file is rolled back to the entry state and memory is untouched.
+func (e *Executor) Exec(v *VLIW) (Exit, *Fault) {
+	if e.OnFetch != nil {
+		e.OnFetch(v)
+	}
+	snap := e.RF
+	e.Path = e.Path[:0]
+	var stores []pendingStore
+	completed := uint64(0)
+
+	fail := func(n *Node, idx int, cause error, alias bool) (Exit, *Fault) {
+		e.RF = snap
+		e.Stats.Rollbacks++
+		if alias {
+			e.Stats.Aliases++
+		}
+		return Exit{}, &Fault{VLIW: v, Node: n, Parcel: idx,
+			Resume: v.EntryBase, Cause: cause, Alias: alias}
+	}
+	failCodeMod := func(n *Node) (Exit, *Fault) {
+		e.RF = snap
+		e.Stats.Rollbacks++
+		return Exit{}, &Fault{VLIW: v, Node: n, Parcel: -1,
+			Resume: v.EntryBase, CodeMod: true}
+	}
+
+	n := v.Root
+	for {
+		e.Path = append(e.Path, n)
+		for i := range n.Ops {
+			p := &n.Ops[i]
+			if err, alias := e.execParcel(p, &snap, &stores); err != nil || alias {
+				return fail(n, i, err, alias)
+			}
+			if p.EndsInst {
+				completed++
+			}
+		}
+		if n.Leaf() {
+			break
+		}
+		fv, tag, fp := snap.Read(CRF(n.Cond.CRF))
+		if tag {
+			return fail(n, -1, condFault(fp), false)
+		}
+		bit := fv>>(3-uint(n.Cond.Bit))&1 != 0
+		if bit == n.Cond.Sense {
+			n = n.Taken
+		} else {
+			n = n.Fall
+		}
+	}
+
+	// Two-phase store commit: validate everything, then apply, so a
+	// faulting store leaves memory untouched for the rollback.
+	for _, s := range stores {
+		if err := e.Mem.CheckWrite(s.addr, int(s.size)); err != nil {
+			return fail(n, -1, err, false)
+		}
+		if e.Mem.ReadOnly(s.addr) {
+			// A store into translated code: roll back so the VMM can
+			// apply it interpretively and invalidate the stale
+			// translation before the next instruction runs (§3.2).
+			return failCodeMod(n)
+		}
+	}
+	for _, s := range stores {
+		if e.OnMem != nil {
+			e.OnMem(s.addr, int(s.size), true)
+		}
+		if e.Journal != nil {
+			e.Journal.Record(e.Mem, s.addr, s.size)
+		}
+		var err error
+		switch s.size {
+		case 1:
+			err = e.Mem.Write8(s.addr, s.val)
+		case 2:
+			err = e.Mem.Write16(s.addr, s.val)
+		default:
+			err = e.Mem.Write32(s.addr, s.val)
+		}
+		if err != nil {
+			// CheckWrite passed; this cannot happen.
+			return fail(n, -1, err, false)
+		}
+		e.Stats.Stores++
+	}
+
+	e.Stats.VLIWs++
+	e.Stats.BaseInsts += completed
+	return n.Exit, nil
+}
+
+func condFault(f *mem.Fault) error {
+	if f != nil {
+		return f
+	}
+	return fmt.Errorf("vliw: branch on tagged condition")
+}
+
+// noteWrite maintains the load-verify records: any write to a GPR clears
+// its pending record unless the write is itself a speculated load.
+func (e *Executor) noteWrite(d RegRef, rec specRec) {
+	if d.Kind == RGPR {
+		e.spec[d.N] = rec
+	}
+}
+
+// execParcel runs one parcel, reading sources from snap and writing
+// results to e.RF. It returns (error, aliasDetected).
+func (e *Executor) execParcel(p *Parcel, snap *RegFile, stores *[]pendingStore) (error, bool) {
+	switch p.Op {
+	case PNop:
+		return nil, false
+	case PLoad:
+		return e.execLoad(p, snap)
+	case PStore:
+		return e.execStore(p, snap, stores)
+	case PCopy:
+		return e.execCopy(p, snap)
+	case PMfcr:
+		var cr uint32
+		for f := uint8(0); f < 8; f++ {
+			if snap.CRTag[f] {
+				return tagged(p, snap.CRFault[f]), false
+			}
+			cr = ppc.SetCRField(cr, f, snap.CRFv[f])
+		}
+		e.RF.Write(p.D, cr)
+		e.noteWrite(p.D, specRec{})
+		return nil, false
+	case PMtcrf:
+		v, tag, f := snap.Read(p.A)
+		if tag {
+			return tagged(p, f), false
+		}
+		for fld := uint8(0); fld < 8; fld++ {
+			if p.FXM&(0x80>>fld) != 0 {
+				e.RF.Write(CRF(fld), uint32(ppc.CRField(v, fld)))
+			}
+		}
+		return nil, false
+	case PMcrf:
+		v, tag, f := snap.Read(p.A)
+		if tag {
+			if p.Spec {
+				e.RF.WriteTagged(p.D, f)
+				return nil, false
+			}
+			return tagged(p, f), false
+		}
+		e.RF.Write(p.D, v)
+		return nil, false
+	case PCrand, PCror, PCrxor, PCrnand, PCrnor:
+		return e.execCrOp(p, snap)
+	case PCmpI, PCmpLI, PCmp, PCmpL:
+		return e.execCompare(p, snap)
+	}
+	return e.execALU(p, snap)
+}
+
+func tagged(p *Parcel, f *mem.Fault) error {
+	if f != nil {
+		return f
+	}
+	return fmt.Errorf("vliw: %s consumed tagged register", p.Op)
+}
+
+func (e *Executor) execALU(p *Parcel, snap *RegFile) (error, bool) {
+	a, tagA, fA := snap.Read(p.A)
+	b, tagB, fB := snap.Read(p.B)
+	tag := tagA || tagB
+	f := fA
+	if f == nil {
+		f = fB
+	}
+	// Carry-in source participates in dependence and tagging.
+	if p.Op == PAddE || p.Op == PSubfE {
+		if p.CASrc.Kind == RGPR {
+			if snap.GTag[p.CASrc.N] {
+				tag = true
+				if f == nil {
+					f = snap.GFault[p.CASrc.N]
+				}
+			}
+		}
+	}
+	if tag {
+		if p.Spec {
+			e.RF.WriteTagged(p.D, f)
+			e.noteWrite(p.D, specRec{})
+			return nil, false
+		}
+		return tagged(p, f), false
+	}
+
+	var r uint32
+	var ca bool
+	hasCA := false
+	switch p.Op {
+	case PLI:
+		r = uint32(p.Imm)
+	case PLIS:
+		r = uint32(p.Imm) << 16
+	case PAddI:
+		r = a + uint32(p.Imm)
+	case PAddIS:
+		r = a + uint32(p.Imm)<<16
+	case PAddIC:
+		r, ca = ppc.AddCarry(a, uint32(p.Imm), 0)
+		hasCA = true
+	case PAdd:
+		r = a + b
+	case PAddC:
+		r, ca = ppc.AddCarry(a, b, 0)
+		hasCA = true
+	case PAddE:
+		r, ca = ppc.AddCarry(a, b, snap.CarryOf(p.CASrc))
+		hasCA = true
+	case PSubf:
+		r = b - a
+	case PSubfC:
+		r, ca = ppc.AddCarry(^a, b, 1)
+		hasCA = true
+	case PSubfE:
+		r, ca = ppc.AddCarry(^a, b, snap.CarryOf(p.CASrc))
+		hasCA = true
+	case PSubfIC:
+		r, ca = ppc.AddCarry(^a, uint32(p.Imm), 1)
+		hasCA = true
+	case PNeg:
+		r = -a
+	case PMullw:
+		r = a * b
+	case PMulhwu:
+		r = uint32(uint64(a) * uint64(b) >> 32)
+	case PDivw:
+		r = ppc.DivSigned(a, b)
+	case PDivwu:
+		r = ppc.DivUnsigned(a, b)
+	case PMulI:
+		r = uint32(int32(a) * p.Imm)
+	case PAnd:
+		r = a & b
+	case PAndc:
+		r = a &^ b
+	case POr:
+		r = a | b
+	case PNor:
+		r = ^(a | b)
+	case PXor:
+		r = a ^ b
+	case PNand:
+		r = ^(a & b)
+	case PAndI:
+		r = a & uint32(p.Imm)
+	case PAndIS:
+		r = a & (uint32(p.Imm) << 16)
+	case POrI:
+		r = a | uint32(p.Imm)
+	case POrIS:
+		r = a | uint32(p.Imm)<<16
+	case PXorI:
+		r = a ^ uint32(p.Imm)
+	case PXorIS:
+		r = a ^ uint32(p.Imm)<<16
+	case PSlw:
+		r = ppc.ShiftLeft(a, b)
+	case PSrw:
+		r = ppc.ShiftRight(a, b)
+	case PSraw:
+		r, ca = ppc.ShiftRightAlg(a, b&0x3f)
+		hasCA = true
+	case PSrawI:
+		r, ca = ppc.ShiftRightAlg(a, uint32(p.SH))
+		hasCA = true
+	case PCntlzw:
+		r = uint32(bits.LeadingZeros32(a))
+	case PExtsb:
+		r = uint32(int32(int8(a)))
+	case PExtsh:
+		r = uint32(int32(int16(a)))
+	case PRlwinm:
+		r = bits.RotateLeft32(a, int(p.SH)) & ppc.RotateMask(p.MB, p.ME)
+	case PRlwimi:
+		m := ppc.RotateMask(p.MB, p.ME)
+		r = bits.RotateLeft32(a, int(p.SH))&m | b&^m
+	default:
+		return fmt.Errorf("vliw: unimplemented primitive %s", p.Op), false
+	}
+
+	e.RF.Write(p.D, r)
+	e.noteWrite(p.D, specRec{})
+	if hasCA {
+		e.RF.SetCarry(p.D, ca)
+	}
+	return nil, false
+}
+
+func (e *Executor) execCompare(p *Parcel, snap *RegFile) (error, bool) {
+	a, tagA, fA := snap.Read(p.A)
+	var b uint32
+	var tagB bool
+	var fB *mem.Fault
+	if p.Op == PCmp || p.Op == PCmpL {
+		b, tagB, fB = snap.Read(p.B)
+	} else {
+		b = uint32(p.Imm)
+	}
+	if tagA || tagB {
+		f := fA
+		if f == nil {
+			f = fB
+		}
+		if p.Spec {
+			e.RF.WriteTagged(p.D, f)
+			return nil, false
+		}
+		return tagged(p, f), false
+	}
+	var fld uint8
+	switch p.Op {
+	case PCmpI, PCmp:
+		fld = ppc.CompareSigned(int32(a), int32(b), snap.XER)
+	default:
+		fld = ppc.CompareUnsigned(a, b, snap.XER)
+	}
+	e.RF.Write(p.D, uint32(fld))
+	return nil, false
+}
+
+func (e *Executor) execCrOp(p *Parcel, snap *RegFile) (error, bool) {
+	av, tagA, fA := snap.Read(p.A)
+	bv, tagB, fB := snap.Read(p.B)
+	dv, tagD, fD := snap.Read(p.D) // read-modify-write of the dest field
+	if tagA || tagB || tagD {
+		f := fA
+		if f == nil {
+			f = fB
+		}
+		if f == nil {
+			f = fD
+		}
+		if p.Spec {
+			e.RF.WriteTagged(p.D, f)
+			return nil, false
+		}
+		return tagged(p, f), false
+	}
+	abit := uint8(av)>>(3-p.BA)&1 != 0
+	bbit := uint8(bv)>>(3-p.BB)&1 != 0
+	var op ppc.Opcode
+	switch p.Op {
+	case PCrand:
+		op = ppc.OpCrand
+	case PCror:
+		op = ppc.OpCror
+	case PCrxor:
+		op = ppc.OpCrxor
+	case PCrnand:
+		op = ppc.OpCrnand
+	default:
+		op = ppc.OpCrnor
+	}
+	res := ppc.CrOp(op, abit, bbit)
+	m := uint8(1) << (3 - p.BD)
+	nv := uint8(dv) &^ m
+	if res {
+		nv |= m
+	}
+	e.RF.Write(p.D, uint32(nv))
+	return nil, false
+}
+
+func (e *Executor) execCopy(p *Parcel, snap *RegFile) (error, bool) {
+	v, tag, f := snap.Read(p.A)
+	if tag {
+		if p.Spec {
+			e.RF.WriteTagged(p.D, f)
+			e.noteWrite(p.D, specRec{})
+			return nil, false
+		}
+		// The deferred exception of §2.1 fires here.
+		return tagged(p, f), false
+	}
+	if p.Verify && p.A.Kind == RGPR {
+		if rec := e.spec[p.A.N]; rec.valid {
+			fresh, err := e.readMem(rec.addr, rec.size, rec.signed)
+			if err != nil {
+				return err, false
+			}
+			if fresh != v {
+				// A bypassed store (or another processor) changed the
+				// location: discard all speculative work and re-execute
+				// from the load (§2.1 / Table 5.7).
+				return nil, true
+			}
+		}
+	}
+	e.RF.Write(p.D, v)
+	e.noteWrite(p.D, specRec{})
+	if p.CommitCA && p.A.Kind == RGPR {
+		ca := snap.CA[p.A.N]
+		if ca {
+			e.RF.XER |= ppc.XerCA
+		} else {
+			e.RF.XER &^= ppc.XerCA
+		}
+	}
+	return nil, false
+}
+
+func (e *Executor) effectiveAddr(p *Parcel, snap *RegFile) (uint32, bool, *mem.Fault) {
+	a, tagA, fA := snap.Read(p.A)
+	if p.Indexed {
+		b, tagB, fB := snap.Read(p.B)
+		f := fA
+		if f == nil {
+			f = fB
+		}
+		return a + b, tagA || tagB, f
+	}
+	return a + uint32(p.Imm), tagA, fA
+}
+
+func (e *Executor) readMem(addr uint32, size uint8, signed bool) (uint32, error) {
+	switch size {
+	case 1:
+		return e.Mem.Read8(addr)
+	case 2:
+		v, err := e.Mem.Read16(addr)
+		if err == nil && signed {
+			v = uint32(int32(int16(v)))
+		}
+		return v, err
+	default:
+		return e.Mem.Read32(addr)
+	}
+}
+
+func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
+	ea, tag, f := e.effectiveAddr(p, snap)
+	if tag {
+		if p.Spec {
+			e.RF.WriteTagged(p.D, f)
+			e.noteWrite(p.D, specRec{})
+			return nil, false
+		}
+		return tagged(p, f), false
+	}
+	if e.AddrXlate != nil {
+		pa, xf := e.AddrXlate(ea, false)
+		if xf != nil {
+			if p.Spec {
+				e.RF.WriteTagged(p.D, xf)
+				e.noteWrite(p.D, specRec{})
+				return nil, false
+			}
+			return xf, false
+		}
+		ea = pa
+	}
+	if e.OnMem != nil {
+		e.OnMem(ea, int(p.Size), false)
+	}
+	v, err := e.readMem(ea, p.Size, p.Signed)
+	if err != nil {
+		if p.Spec {
+			// A speculative load that faults only tags its destination;
+			// memory-mapped I/O space behaves the same way (§2.1).
+			mf, ok := err.(*mem.Fault)
+			if !ok {
+				mf = &mem.Fault{Addr: ea}
+			}
+			e.RF.WriteTagged(p.D, mf)
+			e.noteWrite(p.D, specRec{})
+			return nil, false
+		}
+		return err, false
+	}
+	e.Stats.Loads++
+	e.RF.Write(p.D, v)
+	rec := specRec{}
+	if p.SpecLoad {
+		rec = specRec{valid: true, addr: ea, size: p.Size, signed: p.Signed}
+	}
+	e.noteWrite(p.D, rec)
+	return nil, false
+}
+
+func (e *Executor) execStore(p *Parcel, snap *RegFile, stores *[]pendingStore) (error, bool) {
+	v, tag, f := snap.Read(p.D)
+	if tag {
+		return tagged(p, f), false
+	}
+	ea, tagEA, fEA := e.effectiveAddr(p, snap)
+	if tagEA {
+		return tagged(p, fEA), false
+	}
+	if e.AddrXlate != nil {
+		pa, xf := e.AddrXlate(ea, true)
+		if xf != nil {
+			return xf, false
+		}
+		ea = pa
+	}
+	*stores = append(*stores, pendingStore{addr: ea, size: p.Size, val: v})
+	return nil, false
+}
+
+// StoreJournal records overwritten memory so a span of translated
+// execution can be undone. It backs the imprecise-exception recovery: the
+// VMM checkpoints the register file at each group entry, journals stores,
+// and on a fault restores both and re-executes interpretively.
+type StoreJournal struct {
+	entries []journalEntry
+}
+
+type journalEntry struct {
+	addr uint32
+	old  [4]byte
+	size uint8
+}
+
+// Record captures the current bytes at [addr, addr+size).
+func (j *StoreJournal) Record(m *mem.Memory, addr uint32, size uint8) {
+	var e journalEntry
+	e.addr, e.size = addr, size
+	for i := uint8(0); i < size && i < 4; i++ {
+		v, err := m.Read8(addr + uint32(i))
+		if err != nil {
+			return // unreadable: the store itself would have faulted
+		}
+		e.old[i] = byte(v)
+	}
+	j.entries = append(j.entries, e)
+}
+
+// Reset clears the journal (a new checkpoint begins).
+func (j *StoreJournal) Reset() { j.entries = j.entries[:0] }
+
+// Len reports the number of journaled stores.
+func (j *StoreJournal) Len() int { return len(j.entries) }
+
+// Undo restores all journaled bytes, newest first, and clears the journal.
+func (j *StoreJournal) Undo(m *mem.Memory) {
+	for i := len(j.entries) - 1; i >= 0; i-- {
+		e := j.entries[i]
+		for k := uint8(0); k < e.size && k < 4; k++ {
+			_ = m.Write8(e.addr+uint32(k), uint32(e.old[k]))
+		}
+	}
+	j.Reset()
+}

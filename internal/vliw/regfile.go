@@ -1,0 +1,135 @@
+package vliw
+
+import (
+	"daisy/internal/mem"
+	"daisy/internal/ppc"
+)
+
+// RegFile is the migrant machine's register state: the base architecture's
+// registers plus the rename registers, exception tag bits (§2.1) and carry
+// extender bits (Appendix D). None of the extensions are visible to the
+// base architecture; ToState projects out exactly the architected part.
+type RegFile struct {
+	GPR    [NumGPR]uint32
+	CA     [NumGPR]bool // carry extender bit per register
+	GTag   [NumGPR]bool // exception tag per register
+	GFault [NumGPR]*mem.Fault
+
+	CRFv    [NumCRF]uint8
+	CRTag   [NumCRF]bool
+	CRFault [NumCRF]*mem.Fault
+
+	LR, CTR, XER uint32
+}
+
+// FromState loads the architected registers from a base state. Rename
+// registers, tags and extenders are cleared: a context hand-off from the
+// base architecture carries no speculative state.
+func (rf *RegFile) FromState(st *ppc.State) {
+	*rf = RegFile{}
+	for i := 0; i < 32; i++ {
+		rf.GPR[i] = st.GPR[i]
+	}
+	for f := uint8(0); f < 8; f++ {
+		rf.CRFv[f] = ppc.CRField(st.CR, f)
+	}
+	rf.LR, rf.CTR, rf.XER = st.LR, st.CTR, st.XER
+}
+
+// ToState stores the architected registers into st (PC and MSR are owned
+// by the VMM and left untouched).
+func (rf *RegFile) ToState(st *ppc.State) {
+	for i := 0; i < 32; i++ {
+		st.GPR[i] = rf.GPR[i]
+	}
+	var cr uint32
+	for f := uint8(0); f < 8; f++ {
+		cr = ppc.SetCRField(cr, f, rf.CRFv[f])
+	}
+	st.CR = cr
+	st.LR, st.CTR, st.XER = rf.LR, rf.CTR, rf.XER
+}
+
+// Read returns the value of a register reference along with its exception
+// tag and fault payload.
+func (rf *RegFile) Read(r RegRef) (v uint32, tag bool, f *mem.Fault) {
+	switch r.Kind {
+	case RNone:
+		return 0, false, nil
+	case RGPR:
+		return rf.GPR[r.N], rf.GTag[r.N], rf.GFault[r.N]
+	case RCRF:
+		return uint32(rf.CRFv[r.N]), rf.CRTag[r.N], rf.CRFault[r.N]
+	case RLR:
+		return rf.LR, false, nil
+	case RCTR:
+		return rf.CTR, false, nil
+	case RXER:
+		return rf.XER, false, nil
+	}
+	return 0, false, nil
+}
+
+// Write sets a register, clearing its tag.
+func (rf *RegFile) Write(r RegRef, v uint32) {
+	switch r.Kind {
+	case RGPR:
+		rf.GPR[r.N] = v
+		rf.GTag[r.N] = false
+		rf.GFault[r.N] = nil
+		rf.CA[r.N] = false
+	case RCRF:
+		rf.CRFv[r.N] = uint8(v & 0xf)
+		rf.CRTag[r.N] = false
+		rf.CRFault[r.N] = nil
+	case RLR:
+		rf.LR = v
+	case RCTR:
+		rf.CTR = v
+	case RXER:
+		rf.XER = v
+	}
+}
+
+// WriteTagged marks r as holding the result of a faulted speculative
+// operation (the exception tag of §2.1).
+func (rf *RegFile) WriteTagged(r RegRef, f *mem.Fault) {
+	switch r.Kind {
+	case RGPR:
+		rf.GTag[r.N] = true
+		rf.GFault[r.N] = f
+		rf.CA[r.N] = false
+	case RCRF:
+		rf.CRTag[r.N] = true
+		rf.CRFault[r.N] = f
+	}
+}
+
+// CarryOf returns the carry bit a parcel should consume: the XER CA bit
+// when src is None, otherwise the extender bit of a renamed register.
+func (rf *RegFile) CarryOf(src RegRef) uint32 {
+	if src.Kind == RNone {
+		if rf.XER&ppc.XerCA != 0 {
+			return 1
+		}
+		return 0
+	}
+	if src.Kind == RGPR && rf.CA[src.N] {
+		return 1
+	}
+	return 0
+}
+
+// SetCarry records a carry-out: into the XER for an architected
+// destination, into the extender bit for a renamed one.
+func (rf *RegFile) SetCarry(d RegRef, ca bool) {
+	if d.Kind == RGPR && !d.Arch() {
+		rf.CA[d.N] = ca
+		return
+	}
+	if ca {
+		rf.XER |= ppc.XerCA
+	} else {
+		rf.XER &^= ppc.XerCA
+	}
+}

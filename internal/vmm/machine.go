@@ -1,0 +1,652 @@
+// Package vmm implements DAISY's Virtual Machine Monitor: the software
+// that lives in ROM on the real machine (Figure 3.1) and gives the base
+// architecture 100% compatible execution on the VLIW.
+//
+// The VMM owns page translation and cast-out, valid entry points,
+// self-modifying-code invalidation via the non-architected read-only bits
+// (§3.2), cross-page branch resolution (§3.4), system-call emulation, and
+// precise exception recovery: a faulting VLIW rolls back to its entry —
+// always an exact base-instruction boundary — and the VMM interprets
+// forward from there, reaching the faulting instruction with precise
+// architected state (§3.5 and §3.6).
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"daisy/internal/core"
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+	"daisy/internal/ppc"
+	"daisy/internal/vliw"
+)
+
+// Options configure a Machine beyond the translator options.
+type Options struct {
+	Trans core.Options
+
+	// MaxPages bounds the translated-page pool; the least recently used
+	// page translation is cast out when it fills (0: unlimited).
+	MaxPages int
+
+	// InterpBudget is how many instructions the VMM interprets after a
+	// fault or an untranslated-code exit before it forces a new entry
+	// point (the paper's rule: leave interpretive mode quickly).
+	InterpBudget int
+
+	// GuestFaultVectors selects §3.3 exception delivery: data storage
+	// faults fill SRR0/SRR1/DAR/DSISR and transfer to the base operating
+	// system's handler at vector 0x300 instead of surfacing as Go errors.
+	// Data effective addresses are translated through the guest page
+	// table (Chapter 4) when MSR[DR] is on.
+	GuestFaultVectors bool
+
+	// AdaptiveSpeculation enables the remedy §5 sketches for alias-heavy
+	// code: a page whose groups keep failing load-verify is retranslated
+	// with loads kept in store order. The paper's own implementation
+	// lacked this ("does not yet have this feature"), so it is off by
+	// default; the traditional-compiler baseline turns it on.
+	AdaptiveSpeculation bool
+
+	// Interpretive selects Chapter 6's interpretive compilation: before
+	// translating an entry, the VMM interprets ahead on a throwaway copy
+	// of the machine, records the branch directions actually taken, and
+	// compiles only that path. Cold branch sides stay untranslated until
+	// execution reaches them.
+	Interpretive bool
+}
+
+// DefaultOptions mirrors the paper's headline setup.
+func DefaultOptions() Options {
+	return Options{Trans: core.DefaultOptions(), InterpBudget: 64}
+}
+
+// Stats collects the dynamic counters behind the paper's tables.
+type Stats struct {
+	Exec vliw.Stats // VLIWs, base instructions, loads/stores, aliases
+
+	InterpInsts  uint64 // instructions executed interpretively by the VMM
+	Syscalls     uint64
+	PagesBuilt   uint64 // "VLIW translation missing" exceptions serviced
+	GroupsBuilt  uint64
+	EntriesBuilt uint64 // "invalid entry point" exceptions serviced
+	CastOuts     uint64
+
+	CrossDirect uint64 // Table 5.6: direct cross-page branches
+	CrossLR     uint64 // via the link register
+	CrossCTR    uint64 // via the count register
+	IntraEntry  uint64 // same-page entry-point transfers
+
+	SMCInvalidations    uint64
+	Exceptions          uint64 // precise exceptions recovered
+	AliasRecoveries     uint64 // load-verify re-executions (Table 5.7)
+	AliasRetranslations uint64 // entries rebuilt without load speculation
+	TraceRecInsts       uint64 // instructions interpreted by the trace recorder
+
+	Cycles      uint64 // VLIW issue cycles (one per attempted tree instruction)
+	StallCycles uint64 // extra cycles from the attached cache model
+}
+
+// BaseInsts returns the total completed base instructions (translated +
+// interpreted).
+func (s *Stats) BaseInsts() uint64 { return s.Exec.BaseInsts + s.InterpInsts }
+
+// ILP returns base instructions per cycle including cache stalls (the
+// finite-cache ILP when a hierarchy is attached); interpreted instructions
+// are charged one cycle each.
+func (s *Stats) ILP() float64 {
+	cyc := s.Cycles + s.StallCycles + s.InterpInsts
+	if cyc == 0 {
+		return 0
+	}
+	return float64(s.BaseInsts()) / float64(cyc)
+}
+
+// InfILP returns base instructions per VLIW issue cycle, ignoring cache
+// stalls: the paper's infinite-cache pathlength reduction.
+func (s *Stats) InfILP() float64 {
+	cyc := s.Cycles + s.InterpInsts
+	if cyc == 0 {
+		return 0
+	}
+	return float64(s.BaseInsts()) / float64(cyc)
+}
+
+// Machine is a base architecture machine implemented by dynamic
+// translation onto the VLIW.
+type Machine struct {
+	Mem   *mem.Memory
+	Env   *interp.Env
+	Trans *core.Translator
+	Exec  *vliw.Executor
+	Opt   Options
+	Stats Stats
+
+	// St holds PC and MSR; GPRs/CR/LR/CTR/XER live in Exec.RF while
+	// translated code runs.
+	St ppc.State
+
+	// OnFault, if non-nil, observes each recovered exception: the rolled
+	// back fault and the precise base address found by the §3.5 scan.
+	OnFault func(f *vliw.Fault, scanPC uint32)
+
+	// StallFn, if non-nil, returns extra stall cycles for a memory
+	// access (wired to the cache simulator).
+	StallFn func(addr uint32, size int, write bool, fetch bool) uint64
+
+	pages map[uint32]*core.PageTranslation
+	lru   []uint32 // page bases, most recent last
+	dirty map[uint32]bool
+
+	// Adaptive speculation throttle (§5: "an entry point could be
+	// retranslated with movement of loads above stores inhibited"):
+	// pages whose groups keep alias-faulting are rebuilt without load
+	// speculation.
+	aliasCount map[uint32]int // by page base
+	inhibit    map[uint32]bool
+
+	// pathLog records the nodes executed since the current group's entry
+	// for the exception scan.
+	pathLog  []*vliw.Node
+	curGroup *vliw.Group
+	maxInsts uint64
+
+	// Imprecise-mode checkpoint (the reproduction's stand-in for
+	// Appendix B's resume_vliw): the register file and PC at the current
+	// group's entry, plus a journal of the group's stores and the
+	// completed-instruction count (rolled-back work must not be counted).
+	ckptRF    vliw.RegFile
+	ckptPC    uint32
+	ckptInsts uint64
+}
+
+// New builds a machine over a loaded memory image.
+func New(m *mem.Memory, env *interp.Env, opt Options) *Machine {
+	if opt.InterpBudget <= 0 {
+		opt.InterpBudget = 64
+	}
+	if opt.Interpretive {
+		// Tracing compiles only executed paths, so the window and
+		// unrolling budgets can grow without the static mode's code
+		// explosion ("we can afford a larger window size", Chapter 6).
+		opt.Trans.Window *= 4
+		opt.Trans.MaxJoinVisits *= 2
+		opt.Trans.MaxLoopVisits *= 2
+	}
+	ma := &Machine{
+		Mem:        m,
+		Env:        env,
+		Trans:      core.New(m, opt.Trans),
+		Exec:       &vliw.Executor{Mem: m},
+		Opt:        opt,
+		pages:      make(map[uint32]*core.PageTranslation),
+		dirty:      make(map[uint32]bool),
+		aliasCount: make(map[uint32]int),
+		inhibit:    make(map[uint32]bool),
+	}
+	m.OnProtectedStore = func(addr uint32, size int) {
+		ma.dirty[addr&^(ma.Trans.Opt.PageSize-1)] = true
+	}
+	ma.Exec.OnMem = func(addr uint32, size int, write bool) {
+		if ma.StallFn != nil {
+			ma.Stats.StallCycles += ma.StallFn(addr, size, write, false)
+		}
+	}
+	ma.Exec.OnFetch = func(v *vliw.VLIW) {
+		if ma.StallFn != nil {
+			ma.Stats.StallCycles += ma.StallFn(v.Addr, v.Bytes, false, true)
+		}
+	}
+	if !opt.Trans.PreciseExceptions {
+		// Without per-instruction commits, faults recover by rolling the
+		// whole group back: journal its stores.
+		ma.Exec.Journal = &vliw.StoreJournal{}
+	}
+	if opt.GuestFaultVectors {
+		ma.Exec.AddrXlate = func(vaddr uint32, write bool) (uint32, *mem.Fault) {
+			return interp.DataTranslate(ma.Mem, &ma.St, vaddr, write)
+		}
+	}
+	return ma
+}
+
+// ErrBudget is returned when Run's instruction budget is exhausted.
+var ErrBudget = errors.New("vmm: instruction budget exhausted")
+
+// Run executes from entry until the program halts (returns nil), the
+// instruction budget is exhausted, or an unrecoverable error occurs.
+func (m *Machine) Run(entry uint32, maxInsts uint64) error {
+	m.St.PC = entry
+	m.maxInsts = maxInsts
+	m.Exec.RF.FromState(&m.St)
+	for {
+		if err := m.checkBudget(); err != nil {
+			return err
+		}
+		halt, err := m.runGroup()
+		if errors.Is(err, errHaltFromInterp) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if halt {
+			m.Exec.RF.ToState(&m.St)
+			return nil
+		}
+	}
+}
+
+func (m *Machine) checkBudget() error {
+	if m.maxInsts > 0 && m.Stats.BaseInsts() > m.maxInsts {
+		return fmt.Errorf("%w (pc %#x)", ErrBudget, m.St.PC)
+	}
+	return nil
+}
+
+// pageFor returns (building if needed) the translation of the page
+// containing addr — the "VLIW translation missing" service (§3.1).
+func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
+	base := addr &^ (m.Trans.Opt.PageSize - 1)
+	if pt, ok := m.pages[base]; ok {
+		m.touch(base)
+		return pt, nil
+	}
+	before := m.Trans.Stats.Groups
+	var pt *core.PageTranslation
+	var err error
+	if m.Opt.Interpretive {
+		pt = core.EmptyPage(addr, m.Trans.Opt.PageSize)
+	} else {
+		pt, err = m.Trans.TranslatePage(addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.Stats.PagesBuilt++
+	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before
+	m.pages[base] = pt
+	m.touch(base)
+	// Protect the page so stores into it raise the code-modification
+	// interrupt (§3.2).
+	m.Mem.SetReadOnly(base, true)
+	m.castOut()
+	return pt, nil
+}
+
+func (m *Machine) touch(base uint32) {
+	for i, b := range m.lru {
+		if b == base {
+			m.lru = append(m.lru[:i], m.lru[i+1:]...)
+			break
+		}
+	}
+	m.lru = append(m.lru, base)
+}
+
+func (m *Machine) castOut() {
+	if m.Opt.MaxPages <= 0 {
+		return
+	}
+	for len(m.pages) > m.Opt.MaxPages {
+		victim := m.lru[0]
+		m.lru = m.lru[1:]
+		m.invalidate(victim)
+		m.Stats.CastOuts++
+	}
+}
+
+// invalidate destroys the translation of one page (§3.2).
+func (m *Machine) invalidate(base uint32) {
+	if _, ok := m.pages[base]; !ok {
+		return
+	}
+	delete(m.pages, base)
+	for i, b := range m.lru {
+		if b == base {
+			m.lru = append(m.lru[:i], m.lru[i+1:]...)
+			break
+		}
+	}
+	m.Mem.SetReadOnly(base, false)
+}
+
+// groupAt resolves the base address to a translated group, servicing
+// missing-translation and invalid-entry exceptions on the way.
+func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
+	if m.inhibit[addr&^(m.Trans.Opt.PageSize-1)] {
+		saved := m.Trans.Opt.SpeculateLoads
+		m.Trans.Opt.SpeculateLoads = false
+		defer func() { m.Trans.Opt.SpeculateLoads = saved }()
+	}
+	pt, err := m.pageFor(addr)
+	if err != nil {
+		return nil, err
+	}
+	if g, ok := pt.Groups[addr]; ok {
+		return g, nil
+	}
+	before := m.Trans.Stats.Groups
+	var g *vliw.Group
+	if m.Opt.Interpretive {
+		g, err = m.Trans.EnsureEntryGuided(pt, addr, m.recordTrace(addr))
+	} else {
+		g, err = m.Trans.EnsureEntry(pt, addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.Stats.EntriesBuilt++
+	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before
+	return g, nil
+}
+
+// recordTrace interprets ahead from entry on throwaway copies of memory
+// and the I/O environment, recording the direction of every conditional
+// branch (Chapter 6: "since we are decoding the base architecture
+// instructions, interpreting them at that point adds only a small
+// overhead"). It returns a guide the translator consumes in order.
+func (m *Machine) recordTrace(entry uint32) func(pc uint32) (bool, bool) {
+	type rec struct {
+		pc    uint32
+		taken bool
+	}
+	mc := m.Mem.Clone()
+	env := m.Env.Clone()
+	ip := interp.New(mc, env, entry)
+	m.Exec.RF.ToState(&ip.St)
+	ip.St.PC = entry
+	var recs []rec
+	ip.OnBranch = func(pc uint32, taken bool) {
+		recs = append(recs, rec{pc, taken})
+	}
+	budget := uint64(4 * m.Trans.Opt.Window)
+	_ = ip.Run(budget) // halt, fault or budget exhaustion all end recording
+	m.Stats.TraceRecInsts += ip.InstCount
+	i := 0
+	return func(pc uint32) (bool, bool) {
+		if i >= len(recs) || recs[i].pc != pc {
+			return false, false
+		}
+		t := recs[i].taken
+		i++
+		return t, true
+	}
+}
+
+// runGroup executes translated code from the current PC until control
+// leaves the current page, a system call is serviced, or the program
+// halts. It returns halt=true on SysHalt.
+func (m *Machine) runGroup() (bool, error) {
+	m.drainDirty()
+	g, err := m.groupAt(m.St.PC)
+	if err != nil {
+		return false, err
+	}
+	m.curGroup = g
+	m.pathLog = m.pathLog[:0]
+	m.checkpoint(g.Entry)
+	v := g.VLIWs[0]
+
+	for {
+		if err := m.checkBudget(); err != nil {
+			return false, err
+		}
+		exit, fault := m.Exec.Exec(v)
+		m.Stats.Exec = m.Exec.Stats
+		m.Stats.Cycles++ // one cycle per attempted VLIW
+		m.pathLog = append(m.pathLog, m.Exec.Path...)
+		if fault != nil {
+			return m.recover(fault)
+		}
+
+		// Self-modifying code reaches here only via interpretation (a
+		// translated store into protected code rolls back instead), but
+		// drain defensively at this precise boundary.
+		smcHit := m.drainDirty()
+
+		switch exit.Kind {
+		case vliw.ExitNext:
+			if smcHit {
+				// The next VLIW may belong to an invalidated translation:
+				// continue at its precise entry via a fresh lookup.
+				m.St.PC = exit.Next.EntryBase
+				return false, nil
+			}
+			v = exit.Next
+			continue
+
+		case vliw.ExitEntry:
+			m.Stats.IntraEntry++
+			m.St.PC = exit.Target
+			if smcHit {
+				return false, nil
+			}
+			// Stay inside the page: hop to the target group directly.
+			if m.pages[m.St.PC&^(m.Trans.Opt.PageSize-1)] == nil {
+				return false, nil
+			}
+			ng, err := m.groupAt(m.St.PC)
+			if err != nil {
+				return false, err
+			}
+			m.curGroup = ng
+			m.pathLog = m.pathLog[:0]
+			m.checkpoint(ng.Entry)
+			v = ng.VLIWs[0]
+			continue
+
+		case vliw.ExitOffpage:
+			// Constant-propagated indirect branches keep their original
+			// type for Table 5.6 (exit.Via records the origin).
+			switch exit.Via.Kind {
+			case vliw.RLR:
+				m.Stats.CrossLR++
+			case vliw.RCTR:
+				m.Stats.CrossCTR++
+			default:
+				m.Stats.CrossDirect++
+			}
+			m.St.PC = exit.Target
+			return false, nil
+
+		case vliw.ExitIndirect:
+			tgt, _, _ := m.Exec.RF.Read(exit.Via)
+			tgt &^= 3
+			switch exit.Via.Kind {
+			case vliw.RLR:
+				m.crossIndirect(tgt, &m.Stats.CrossLR)
+			case vliw.RCTR:
+				m.crossIndirect(tgt, &m.Stats.CrossCTR)
+			default:
+				m.crossIndirect(tgt, &m.Stats.CrossLR)
+			}
+			m.St.PC = tgt
+			return false, nil
+
+		case vliw.ExitSyscall:
+			m.Stats.Syscalls++
+			m.Exec.RF.ToState(&m.St)
+			m.St.PC = exit.Target
+			err := m.Env.Syscall(&m.St, m.Mem)
+			if errors.Is(err, interp.ErrHalt) {
+				return true, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			m.Exec.RF.FromState(&m.St)
+			m.Exec.ClearSpec()
+			return false, nil
+
+		case vliw.ExitInterp:
+			m.St.PC = exit.Target
+			return false, m.interpret()
+
+		default:
+			return false, fmt.Errorf("vmm: unexpected exit %v", exit)
+		}
+	}
+}
+
+// crossIndirect counts an indirect transfer by type when it crosses a page
+// boundary (Table 5.6 counts cross-page branches).
+func (m *Machine) crossIndirect(tgt uint32, counter *uint64) {
+	if tgt&^(m.Trans.Opt.PageSize-1) != m.St.PC&^(m.Trans.Opt.PageSize-1) {
+		*counter++
+	} else {
+		m.Stats.IntraEntry++
+	}
+}
+
+// recover services a VLIW fault: the executor has rolled the register
+// file back to the VLIW's entry — a precise instruction boundary — and
+// the VMM resumes interpretively from there. Aliases (load-verify
+// mismatches) re-execute silently; true exceptions are also located
+// precisely with the §3.5 scan for reporting.
+func (m *Machine) recover(f *vliw.Fault) (bool, error) {
+	if !m.Trans.Opt.PreciseExceptions {
+		// Appendix B-style recovery: without per-instruction commits, a
+		// VLIW entry is not a precise boundary — but the group entry is
+		// (every path exit flushes its deferred commits). Undo the
+		// group's stores, restore the checkpointed registers, and
+		// re-execute interpretively from the group entry.
+		if f.Alias {
+			m.Stats.AliasRecoveries++
+			m.noteAlias()
+		} else if !f.CodeMod {
+			m.Stats.Exceptions++
+		}
+		m.Exec.Journal.Undo(m.Mem)
+		m.Exec.RF = m.ckptRF
+		m.St.PC = m.ckptPC
+		m.Exec.Stats.BaseInsts = m.ckptInsts
+		m.Stats.Exec = m.Exec.Stats
+		return false, m.interpret()
+	}
+	if f.CodeMod {
+		// interpret() will re-execute the store; the protected-store hook
+		// then marks the page dirty and the next runGroup retranslates.
+	} else if f.Alias {
+		m.Stats.AliasRecoveries++
+		m.noteAlias()
+	} else {
+		m.Stats.Exceptions++
+		if m.OnFault != nil {
+			scanPC, _ := m.ScanFault(f)
+			m.OnFault(f, scanPC)
+		}
+	}
+	m.St.PC = f.Resume
+	return false, m.interpret()
+}
+
+// aliasRetranslateThreshold is how many alias recoveries one group entry
+// may cause before it is rebuilt without load speculation.
+const aliasRetranslateThreshold = 4
+
+// noteAlias implements the paper's adaptive remedy for alias-heavy code:
+// after repeated load-verify failures, the offending entry point is
+// retranslated with loads kept in store order.
+func (m *Machine) noteAlias() {
+	if !m.Opt.AdaptiveSpeculation || m.curGroup == nil {
+		return
+	}
+	base := m.curGroup.Entry &^ (m.Trans.Opt.PageSize - 1)
+	m.aliasCount[base]++
+	if m.aliasCount[base] < aliasRetranslateThreshold || m.inhibit[base] {
+		return
+	}
+	m.inhibit[base] = true
+	m.Stats.AliasRetranslations++
+	m.invalidate(base)
+	m.Mem.SetReadOnly(base, true) // the code itself is unchanged
+}
+
+// interpret runs the base interpreter from the current PC until it
+// reaches an existing translation entry or exhausts the budget (in which
+// case a new entry is created at the stopping point). This is also how
+// rfi-style re-entries avoid flooding pages with entry points (§3.4).
+func (m *Machine) interpret() error {
+	m.Exec.RF.ToState(&m.St)
+	ip := interp.New(m.Mem, m.Env, m.St.PC)
+	ip.St = m.St
+	ip.DeliverDSI = m.Opt.GuestFaultVectors
+	for steps := 0; steps < m.Opt.InterpBudget; steps++ {
+		if m.hasEntry(ip.St.PC) && steps > 0 {
+			break
+		}
+		if err := ip.Step(); err != nil {
+			m.Stats.InterpInsts += ip.InstCount
+			m.St = ip.St
+			if errors.Is(err, interp.ErrHalt) {
+				m.Exec.RF.FromState(&m.St)
+				return errHaltFromInterp
+			}
+			// A precise interpreter fault: deliver to the base OS.
+			m.Exec.RF.FromState(&m.St)
+			return m.deliver(err)
+		}
+	}
+	m.Stats.InterpInsts += ip.InstCount
+	m.St = ip.St
+	m.Exec.RF.FromState(&m.St)
+	m.Exec.ClearSpec()
+	return nil
+}
+
+var errHaltFromInterp = errors.New("vmm: halted during interpretation")
+
+// checkpoint records the group-entry state for imprecise-mode recovery.
+func (m *Machine) checkpoint(entry uint32) {
+	if m.Exec.Journal == nil {
+		return
+	}
+	m.ckptRF = m.Exec.RF
+	m.ckptPC = entry
+	m.ckptInsts = m.Exec.Stats.BaseInsts
+	m.Exec.Journal.Reset()
+}
+
+// drainDirty invalidates the translations of pages whose code was
+// modified, reporting whether any invalidation happened.
+func (m *Machine) drainDirty() bool {
+	if len(m.dirty) == 0 {
+		return false
+	}
+	for b := range m.dirty {
+		m.invalidate(b)
+		m.Stats.SMCInvalidations++
+		delete(m.dirty, b)
+	}
+	return true
+}
+
+func (m *Machine) hasEntry(addr uint32) bool {
+	pt, ok := m.pages[addr&^(m.Trans.Opt.PageSize-1)]
+	if !ok {
+		return false
+	}
+	_, ok = pt.Groups[addr]
+	return ok
+}
+
+// deliver reports an exception to the base architecture operating system
+// (§3.3): SRR0/SRR1/DAR are filled and control transfers to the handler
+// vector. Our reproduction has no resident OS, so when no handler is
+// configured the error is surfaced to the caller with precise state.
+func (m *Machine) deliver(err error) error {
+	var f *mem.Fault
+	if errors.As(err, &f) {
+		m.St.SRR0 = m.St.PC
+		m.St.SRR1 = m.St.MSR
+		m.St.DAR = f.Addr
+		if f.Write {
+			m.St.DSISR = 0x0200_0000
+		} else {
+			m.St.DSISR = 0x0000_0000
+		}
+	}
+	return err
+}

@@ -1,0 +1,583 @@
+package vmm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"daisy/internal/asm"
+	"daisy/internal/core"
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+	"daisy/internal/vliw"
+)
+
+const halt = "\n\tli r0, 0\n\tsc\n"
+
+// runBoth runs src under the reference interpreter and under the DAISY
+// machine with the given options and checks full architectural
+// equivalence: final registers, memory image, output bytes and completed
+// instruction counts.
+func runBoth(t *testing.T, src string, input []byte, opt Options) (*interp.Interp, *Machine) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+
+	m1 := mem.New(1 << 20)
+	if err := prog.Load(m1); err != nil {
+		t.Fatal(err)
+	}
+	env1 := &interp.Env{In: input}
+	ip := interp.New(m1, env1, prog.Entry())
+	if err := ip.Run(50_000_000); !errors.Is(err, interp.ErrHalt) {
+		t.Fatalf("interpreter: %v (pc=%#x)", err, ip.St.PC)
+	}
+
+	m2 := mem.New(1 << 20)
+	if err := prog.Load(m2); err != nil {
+		t.Fatal(err)
+	}
+	env2 := &interp.Env{In: input}
+	ma := New(m2, env2, opt)
+	if err := ma.Run(prog.Entry(), 100_000_000); err != nil {
+		t.Fatalf("vmm: %v", err)
+	}
+
+	// Architected equivalence.
+	st1, st2 := ip.St, ma.St
+	st2.PC = st1.PC // halt leaves PCs trivially offset by interpretation detail
+	st1.PC = st2.PC
+	if d := st1.Diff(&st2); d != "" {
+		t.Fatalf("final state differs: %s", d)
+	}
+	if !m1.EqualData(m2) {
+		t.Fatalf("memory images differ at %#x", m1.FirstDifference(m2))
+	}
+	if !bytes.Equal(env1.Out, env2.Out) {
+		t.Fatalf("output differs: %q vs %q", env1.Out, env2.Out)
+	}
+	if got, want := ma.Stats.BaseInsts(), ip.InstCount; got != want {
+		t.Fatalf("instruction counts differ: vmm=%d interp=%d", got, want)
+	}
+	return ip, ma
+}
+
+func defOpt() Options { return DefaultOptions() }
+
+func TestStraightLine(t *testing.T) {
+	runBoth(t, `
+_start:	li r3, 10
+	li r4, 3
+	add r5, r3, r4
+	subf r6, r4, r3
+	mullw r7, r3, r4
+	divw r8, r3, r4
+	xor r9, r5, r6
+	nand r10, r7, r8
+	srawi r11, r3, 1
+	cntlzw r12, r4
+`+halt, nil, defOpt())
+}
+
+func TestDiamond(t *testing.T) {
+	for _, r3 := range []int{0, 1} {
+		src := fmt.Sprintf(`
+_start:	li r3, %d
+	cmpwi r3, 0
+	beq zero
+	li r4, 111
+	b join
+zero:	li r4, 222
+join:	addi r5, r4, 1
+`+halt, r3)
+		runBoth(t, src, nil, defOpt())
+	}
+}
+
+func TestCountedLoop(t *testing.T) {
+	runBoth(t, `
+_start:	li r3, 0
+	li r4, 100
+	mtctr r4
+loop:	addi r3, r3, 7
+	bdnz loop
+	mfctr r6
+`+halt, nil, defOpt())
+}
+
+func TestNestedLoops(t *testing.T) {
+	runBoth(t, `
+_start:	li r3, 0        # accumulator
+	li r4, 0        # i
+outer:	cmpwi r4, 10
+	bge done
+	li r5, 0        # j
+inner:	cmpwi r5, 10
+	bge iend
+	mullw r6, r4, r5
+	add r3, r3, r6
+	addi r5, r5, 1
+	b inner
+iend:	addi r4, r4, 1
+	b outer
+done:
+`+halt, nil, defOpt())
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	runBoth(t, `
+_start:	li r3, 3
+	bl square
+	bl square
+	b done
+square:	mullw r3, r3, r3
+	blr
+done:
+`+halt, nil, defOpt())
+}
+
+func TestDeepCalls(t *testing.T) {
+	runBoth(t, `
+_start:	lis r1, 8       # stack at 0x80000
+	li r3, 10
+	bl fib
+	b done
+# fib(n): classic recursive fibonacci using a memory stack
+fib:	cmpwi r3, 2
+	bge rec
+	blr             # fib(0)=0, fib(1)=1
+rec:	mflr r7
+	stwu r7, -12(r1)
+	stw r3, 4(r1)
+	addi r3, r3, -1
+	bl fib
+	stw r3, 8(r1)   # fib(n-1)
+	lwz r3, 4(r1)
+	addi r3, r3, -2
+	bl fib
+	lwz r4, 8(r1)
+	add r3, r3, r4
+	lwz r7, 0(r1)
+	addi r1, r1, 12
+	mtlr r7
+	blr
+done:
+`+halt, nil, defOpt())
+}
+
+func TestIndirectViaCTR(t *testing.T) {
+	_, ma := runBoth(t, `
+_start:	lis r5, tgt@ha
+	addi r5, r5, tgt@l
+	mtctr r5
+	bctr
+	li r3, 1
+tgt:	li r3, 42
+`+halt, nil, defOpt())
+	_ = ma
+}
+
+func TestMemoryAndStrings(t *testing.T) {
+	runBoth(t, `
+	.org 0x100
+data:	.word 5, 9, 2, 7, 1, 8, 3, 0
+	.org 0x200
+_start:	lis r3, data@ha
+	addi r3, r3, data@l
+	li r4, 8
+	mtctr r4
+	li r5, 0        # sum
+	li r6, 0        # max
+sum:	lwz r7, 0(r3)
+	add r5, r5, r7
+	cmpw r7, r6
+	ble nomax
+	mr r6, r7
+nomax:	addi r3, r3, 4
+	bdnz sum
+	lis r8, 0x8
+	stw r5, 0(r8)
+	stw r6, 4(r8)
+`+halt, nil, defOpt())
+}
+
+func TestLoadStoreAliasing(t *testing.T) {
+	// A classic store-to-load pattern that exercises speculation: the
+	// store and the following load alias through different registers.
+	_, ma := runBoth(t, `
+_start:	lis r1, 0x8
+	mr r2, r1       # alias of r1
+	li r3, 0
+	li r4, 100
+	mtctr r4
+loop:	addi r3, r3, 1
+	stw r3, 0(r1)
+	lwz r5, 0(r2)   # must see the store
+	add r6, r6, r5
+	bdnz loop
+`+halt, nil, defOpt())
+	_ = ma
+}
+
+func TestCarryChainLoop(t *testing.T) {
+	runBoth(t, `
+_start:	lis r3, 0xffff
+	ori r3, r3, 0xffff
+	li r4, 0
+	li r5, 50
+	mtctr r5
+loop:	addc r6, r3, r3   # carry out every time
+	adde r4, r4, r4   # accumulate carries
+	bdnz loop
+`+halt, nil, defOpt())
+}
+
+func TestRecordFormsAndCR(t *testing.T) {
+	runBoth(t, `
+_start:	li r3, 100
+	li r31, 0
+loop:	subi r3, r3, 7
+	cmpwi cr1, r3, 50
+	add. r4, r3, r3
+	blt cr1, low
+	ori r31, r31, 1
+low:	andi. r5, r3, 1
+	beq even
+	addi r31, r31, 2
+even:	cmpwi r3, 0
+	bgt loop
+	crand 0, 4, 8
+	mcrf cr3, cr1
+	mfcr r9
+`+halt, nil, defOpt())
+}
+
+func TestSyscallLoopEcho(t *testing.T) {
+	runBoth(t, `
+_start:	li r0, 2
+	sc
+	cmpwi r3, -1
+	beq done
+	li r0, 1
+	sc
+	b _start
+done:
+`+halt, []byte("hello daisy"), defOpt())
+}
+
+func TestLmwStmw(t *testing.T) {
+	runBoth(t, `
+_start:	lis r1, 0x8
+	li r25, 25
+	li r26, 26
+	li r27, 27
+	li r28, 28
+	li r29, 29
+	li r30, 30
+	li r31, 31
+	stmw r25, 0(r1)
+	li r25, 0
+	li r31, 0
+	lmw r25, 0(r1)
+`+halt, nil, defOpt())
+}
+
+func TestUpdateForms(t *testing.T) {
+	runBoth(t, `
+_start:	lis r1, 0x8
+	li r3, 7
+	stwu r3, 4(r1)
+	stwu r3, 4(r1)
+	lwzu r4, -4(r1)
+	lwz r5, 4(r1)
+	lbzu r6, 3(r1)
+`+halt, nil, defOpt())
+}
+
+func TestCrossPageCode(t *testing.T) {
+	// Code spanning two 4K pages: cross-page direct branches and calls.
+	_, ma := runBoth(t, `
+	.org 0xff0
+_start:	li r3, 0
+	li r4, 20
+	mtctr r4
+loop:	bl bump          # callee on the next page
+	bdnz loop
+	b fin
+	.org 0x1800
+bump:	addi r3, r3, 3
+	blr
+	.org 0x1900
+fin:
+`+halt, nil, defOpt())
+	if ma.Stats.CrossDirect == 0 {
+		t.Error("expected direct cross-page branches")
+	}
+	if ma.Stats.PagesBuilt < 2 {
+		t.Errorf("expected 2 pages built, got %d", ma.Stats.PagesBuilt)
+	}
+}
+
+func TestAllMachineConfigs(t *testing.T) {
+	src := `
+_start:	li r3, 0
+	li r4, 25
+	mtctr r4
+	lis r1, 0x8
+loop:	addi r3, r3, 1
+	mullw r5, r3, r3
+	stw r5, 0(r1)
+	lwz r6, 0(r1)
+	add r7, r6, r3
+	andi. r8, r7, 7
+	bne odd
+	addi r9, r9, 1
+odd:	bdnz loop
+` + halt
+	for _, cfg := range vliw.Configs {
+		opt := defOpt()
+		opt.Trans.Config = cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			runBoth(t, src, nil, opt)
+		})
+	}
+}
+
+func TestSmallPages(t *testing.T) {
+	for _, ps := range []uint32{128, 256, 1024} {
+		opt := defOpt()
+		opt.Trans.PageSize = ps
+		t.Run(fmt.Sprint(ps), func(t *testing.T) {
+			runBoth(t, `
+_start:	li r3, 0
+	li r4, 50
+	mtctr r4
+loop:	addi r3, r3, 2
+	cmpwi r3, 60
+	blt skip
+	addi r5, r5, 1
+skip:	bdnz loop
+`+halt, nil, opt)
+		})
+	}
+}
+
+func TestAblationOptions(t *testing.T) {
+	src := `
+_start:	lis r1, 0x8
+	li r3, 0
+	li r4, 30
+	mtctr r4
+loop:	stw r3, 0(r1)
+	lwz r5, 0(r1)
+	add r3, r5, r4
+	bl helper
+	bdnz loop
+	b done
+helper:	addi r3, r3, 1
+	blr
+done:
+` + halt
+	mods := []func(*Options){
+		func(o *Options) { o.Trans.SpeculateLoads = false },
+		func(o *Options) { o.Trans.StoreForwarding = false },
+		func(o *Options) { o.Trans.InlineReturns = false },
+		func(o *Options) { o.Trans.Window = 8 },
+		func(o *Options) { o.Trans.MaxJoinVisits = 1 },
+		func(o *Options) { o.MaxPages = 1 },
+		func(o *Options) { o.Trans.PreciseExceptions = false },
+	}
+	for i, mod := range mods {
+		opt := defOpt()
+		mod(&opt)
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			runBoth(t, src, nil, opt)
+		})
+	}
+}
+
+func TestLRUCastOut(t *testing.T) {
+	// Three code pages with a 2-page pool: cast-outs and retranslation.
+	opt := defOpt()
+	opt.MaxPages = 2
+	_, ma := runBoth(t, `
+	.org 0x0
+_start:	li r20, 3
+	mtctr r20
+big:	bl f1
+	bl f2
+	bl f3
+	bdnz big
+	b done
+	.org 0x1000
+f1:	addi r3, r3, 1
+	blr
+	.org 0x2000
+f2:	addi r3, r3, 2
+	blr
+	.org 0x3000
+f3:	addi r3, r3, 3
+	blr
+	.org 0x40
+done:
+`+halt, nil, opt)
+	if ma.Stats.CastOuts == 0 {
+		t.Error("expected cast-outs with a 2-page pool")
+	}
+}
+
+// TestRandomStraightLine is the property test: random arithmetic programs
+// must behave identically under the VMM and the interpreter.
+func TestRandomStraightLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := []string{"add", "subf", "mullw", "and", "or", "xor", "nand",
+		"slw", "srw", "sraw", "addc", "adde", "subfc", "subfe",
+		"neg", "cntlzw", "extsb", "extsh", "divw", "divwu"}
+	for trial := 0; trial < 60; trial++ {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "_start:\n")
+		// Seed registers r3..r12 with random constants.
+		for r := 3; r <= 12; r++ {
+			fmt.Fprintf(&b, "\tlis r%d, 0x%x\n", r, rng.Intn(0x8000))
+			fmt.Fprintf(&b, "\tori r%d, r%d, 0x%x\n", r, r, rng.Intn(0x10000))
+		}
+		n := 10 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			d := 3 + rng.Intn(10)
+			a := 3 + rng.Intn(10)
+			c := 3 + rng.Intn(10)
+			switch op {
+			case "neg", "cntlzw", "extsb", "extsh":
+				fmt.Fprintf(&b, "\t%s r%d, r%d\n", op, d, a)
+			default:
+				// Sometimes use record forms.
+				dot := ""
+				if rng.Intn(4) == 0 {
+					dot = "."
+				}
+				fmt.Fprintf(&b, "\t%s%s r%d, r%d, r%d\n", op, dot, d, a, c)
+			}
+			if rng.Intn(8) == 0 {
+				fmt.Fprintf(&b, "\tsrawi r%d, r%d, %d\n", d, a, rng.Intn(32))
+			}
+			if rng.Intn(8) == 0 {
+				fmt.Fprintf(&b, "\trlwinm r%d, r%d, %d, %d, %d\n",
+					d, a, rng.Intn(32), rng.Intn(32), rng.Intn(32))
+			}
+		}
+		b.WriteString(halt)
+		runBoth(t, b.String(), nil, defOpt())
+	}
+}
+
+// TestRandomBranchy generates random forward-branching programs with a
+// loop skeleton and memory traffic.
+func TestRandomBranchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "_start:\n\tlis r1, 0x8\n")
+		for r := 3; r <= 9; r++ {
+			fmt.Fprintf(&b, "\tli r%d, %d\n", r, rng.Intn(2000)-1000)
+		}
+		iters := 5 + rng.Intn(60)
+		fmt.Fprintf(&b, "\tli r10, %d\n\tmtctr r10\nloop:\n", iters)
+		blocks := 2 + rng.Intn(5)
+		for blk := 0; blk < blocks; blk++ {
+			d := 3 + rng.Intn(7)
+			a := 3 + rng.Intn(7)
+			c := 3 + rng.Intn(7)
+			fmt.Fprintf(&b, "\tadd r%d, r%d, r%d\n", d, a, c)
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "\tstw r%d, %d(r1)\n", d, 4*rng.Intn(8))
+				fmt.Fprintf(&b, "\tlwz r%d, %d(r1)\n", a, 4*rng.Intn(8))
+			}
+			cond := []string{"beq", "bne", "blt", "bgt", "ble", "bge"}[rng.Intn(6)]
+			fmt.Fprintf(&b, "\tcmpwi r%d, %d\n\t%s skip%d_%d\n", d, rng.Intn(100)-50, cond, trial, blk)
+			fmt.Fprintf(&b, "\txor r%d, r%d, r%d\n", c, c, d)
+			fmt.Fprintf(&b, "skip%d_%d:\n", trial, blk)
+		}
+		fmt.Fprintf(&b, "\tbdnz loop\n")
+		b.WriteString(halt)
+		runBoth(t, b.String(), nil, defOpt())
+	}
+}
+
+// TestILPPlausible checks that the scheduler actually extracts parallelism
+// on an unrollable loop (the point of the whole paper).
+func TestILPPlausible(t *testing.T) {
+	_, ma := runBoth(t, `
+_start:	li r3, 0
+	li r4, 0
+	li r5, 0
+	li r6, 0
+	li r7, 1000
+	mtctr r7
+loop:	addi r3, r3, 1
+	addi r4, r4, 2
+	addi r5, r5, 3
+	addi r6, r6, 4
+	bdnz loop
+	add r8, r3, r4
+	add r9, r5, r6
+	add r10, r8, r9
+`+halt, nil, defOpt())
+	ilp := ma.Stats.ILP()
+	if ilp < 2.0 {
+		t.Errorf("ILP = %.2f; independent counters should schedule in parallel", ilp)
+	}
+	t.Logf("ILP = %.2f over %d VLIWs, %d base insts", ilp, ma.Stats.Exec.VLIWs, ma.Stats.BaseInsts())
+}
+
+func TestTranslationStats(t *testing.T) {
+	_, ma := runBoth(t, `
+_start:	li r3, 5
+	mtctr r3
+loop:	addi r4, r4, 1
+	bdnz loop
+`+halt, nil, defOpt())
+	ts := ma.Trans.Stats
+	if ts.Groups == 0 || ts.Parcels == 0 || ts.VLIWs == 0 || ts.CodeBytes == 0 || ts.WorkUnits == 0 {
+		t.Fatalf("translation stats not collected: %+v", ts)
+	}
+	if ma.Stats.PagesBuilt != 1 {
+		t.Fatalf("PagesBuilt = %d", ma.Stats.PagesBuilt)
+	}
+}
+
+func TestGroupEncodesAndDecodes(t *testing.T) {
+	// Every translated group must round-trip through the binary encoding.
+	prog, err := asm.Assemble(`
+_start:	li r3, 100
+	mtctr r3
+loop:	addi r4, r4, 1
+	cmpwi r4, 50
+	blt skip
+	subi r4, r4, 3
+skip:	bdnz loop
+` + halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 16)
+	_ = prog.Load(m)
+	tr := core.New(m, core.DefaultOptions())
+	pt, err := tr.TranslatePage(prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for entry, g := range pt.Groups {
+		enc, err := vliw.EncodeGroup(g)
+		if err != nil {
+			t.Fatalf("group %#x: %v", entry, err)
+		}
+		if _, err := vliw.DecodeGroup(enc); err != nil {
+			t.Fatalf("group %#x decode: %v", entry, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package vmm
+
+import (
+	"daisy/internal/ppc"
+	"daisy/internal/vliw"
+)
+
+// This file implements the §3.5 mapping from a faulting VLIW parcel back
+// to the base-architecture instruction responsible for the exception.
+//
+// The VMM walks the executed path forward, matching instruction-completion
+// boundaries in the VLIW code against base instructions decoded from the
+// (unmodified) base program image, remembering the direction taken at each
+// conditional branch. Two starting points are supported:
+//
+//   - ScanFault starts at the faulting VLIW's recorded entry offset (the
+//     paper's simplest scheme: the base offset kept "as a no-op inside
+//     that VLIW" — our binary encoding's EntryBase word), walking only the
+//     faulting VLIW's partial path.
+//   - ScanFaultFromGroupEntry uses no per-VLIW offsets at all: it walks
+//     the whole logged path from the group entry point, whose base address
+//     is known exactly from the page layout (offset n*N ↔ offset n).
+//
+// Both return the same base address; the tests check them against each
+// other and against where the reference interpreter actually faults.
+
+// scanWalker replays architected completion events against base code.
+type scanWalker struct {
+	m       *Machine
+	pc      uint32
+	lr      uint32
+	lrKnown bool
+	dirs    []bool // directions of conditional splits, FIFO
+	ok      bool
+}
+
+// ScanFault locates the base instruction for a fault using the faulting
+// VLIW's entry offset and its partial path (still in Exec.Path).
+func (m *Machine) ScanFault(f *vliw.Fault) (uint32, bool) {
+	return m.scanNodes(f.VLIW.EntryBase, m.Exec.Path, f.Node, f.Parcel)
+}
+
+// ScanFaultFromGroupEntry locates the base instruction using only the
+// group entry correspondence and the full path log.
+func (m *Machine) ScanFaultFromGroupEntry(f *vliw.Fault) (uint32, bool) {
+	if m.curGroup == nil {
+		return 0, false
+	}
+	return m.scanNodes(m.curGroup.Entry, m.pathLog, f.Node, f.Parcel)
+}
+
+func (m *Machine) scanNodes(startPC uint32, nodes []*vliw.Node, stopNode *vliw.Node, stopParcel int) (uint32, bool) {
+	w := &scanWalker{m: m, pc: startPC, ok: true}
+	for i, n := range nodes {
+		limit := len(n.Ops)
+		atStop := n == stopNode && (i == len(nodes)-1)
+		if atStop && stopParcel >= 0 {
+			limit = stopParcel
+		}
+		for k := 0; k < limit && k < len(n.Ops); k++ {
+			if atStop && stopParcel >= 0 && k == stopParcel {
+				break
+			}
+			if n.Ops[k].EndsInst {
+				if !w.advance() {
+					return w.pc, false
+				}
+			}
+		}
+		if atStop {
+			if stopParcel < 0 {
+				// Condition- or store-phase fault: the instruction is one
+				// of those completing in this VLIW; the resume point is
+				// exact but the specific address is approximate.
+				return w.pc, false
+			}
+			return w.pc, w.ok
+		}
+		if n.Cond != nil && i+1 < len(nodes) {
+			w.dirs = append(w.dirs, nodes[i+1] == n.Taken)
+		}
+	}
+	return w.pc, w.ok
+}
+
+// advance consumes one completed base instruction, updating the scan PC.
+func (w *scanWalker) advance() bool {
+	word, err := w.m.Mem.Read32(w.pc)
+	if err != nil {
+		return false
+	}
+	in := ppc.Decode(word)
+	next := w.pc + 4
+
+	target := func() uint32 {
+		if in.AA {
+			return uint32(in.Imm)
+		}
+		return w.pc + uint32(in.Imm)
+	}
+	takeDir := func() bool {
+		if in.BranchAlways() && !in.DecrementsCTR() {
+			return true
+		}
+		if len(w.dirs) == 0 {
+			// The branch's split was optimized away (e.g. an inlined
+			// unconditional form); assume taken.
+			return true
+		}
+		d := w.dirs[0]
+		w.dirs = w.dirs[1:]
+		return d
+	}
+
+	switch in.Op {
+	case ppc.OpB:
+		if in.LK {
+			w.lr, w.lrKnown = w.pc+4, true
+		}
+		next = target()
+	case ppc.OpBc:
+		taken := takeDir()
+		if in.LK {
+			w.lr, w.lrKnown = w.pc+4, true
+		}
+		if taken {
+			next = target()
+		}
+	case ppc.OpBclr:
+		taken := takeDir()
+		if taken {
+			if !w.lrKnown {
+				return false
+			}
+			next = w.lr &^ 3
+		}
+	case ppc.OpBcctr:
+		taken := takeDir()
+		if in.LK {
+			w.lr, w.lrKnown = w.pc+4, true
+		}
+		if taken {
+			return false // CTR value is not reconstructible from the walk
+		}
+	case ppc.OpMtspr:
+		if in.SPR == ppc.SprLR {
+			w.lrKnown = false
+		}
+	}
+	w.pc = next
+	return true
+}

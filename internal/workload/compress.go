@@ -1,0 +1,145 @@
+package workload
+
+// Compress is a 12-bit LZW compressor in the mould of SPEC compress: a
+// hash table with linear probing maps (prefix-code, byte) pairs to
+// dictionary codes; each emitted code is written as two output bytes.
+// The Go model implements the identical algorithm, so output equality is
+// exact.
+
+import "math/rand"
+
+const (
+	lzwHashSize = 8192
+	lzwMaxCode  = 4096
+)
+
+// lzwModel is the reference implementation shared with the test oracle.
+func lzwModel(in []byte) []byte {
+	if len(in) == 0 {
+		return nil
+	}
+	htab := make([]uint16, lzwHashSize)
+	for i := range htab {
+		htab[i] = 0xffff
+	}
+	keys := make([]uint32, lzwMaxCode)
+	var out []byte
+	emit := func(code uint32) {
+		out = append(out, byte(code>>8), byte(code))
+	}
+	next := uint32(256)
+	w := uint32(in[0])
+	for _, cb := range in[1:] {
+		c := uint32(cb)
+		key := w<<8 | c
+		h := (w<<3 ^ c) & (lzwHashSize - 1)
+		for {
+			e := htab[h]
+			if e == 0xffff {
+				emit(w)
+				if next < lzwMaxCode {
+					htab[h] = uint16(next)
+					keys[next] = key
+					next++
+				}
+				w = c
+				break
+			}
+			if keys[e] == key {
+				w = uint32(e)
+				break
+			}
+			h = (h + 1) & (lzwHashSize - 1)
+		}
+	}
+	emit(w)
+	return out
+}
+
+// Compress returns the LZW workload.
+func Compress() Workload {
+	return Workload{
+		Name: "compress",
+		Source: `
+	.org 0x10000
+_start:	lis r13, BUF2@h
+	ori r13, r13, BUF2@l    # htab (halfwords)
+	lis r14, BUF3@h
+	ori r14, r14, BUF3@l    # keys (words)
+	# clear hash table to 0xFFFF
+	li r4, 0
+	lis r5, 0
+	ori r5, r5, 0xffff
+init:	cmpwi r4, 8192
+	bge initd
+	slwi r6, r4, 1
+	sthx r5, r13, r6
+	addi r4, r4, 1
+	b init
+initd:	li r15, 256             # next code
+	li r0, 2
+	sc                      # w = getc
+	cmpwi r3, -1
+	beq fin
+	mr r16, r3              # w
+mloop:	li r0, 2
+	sc
+	cmpwi r3, -1
+	beq flush
+	mr r17, r3              # c
+	slwi r18, r16, 8
+	or r18, r18, r17        # key
+	slwi r19, r16, 3
+	xor r19, r19, r17
+	andi. r19, r19, 8191    # hash
+probe:	slwi r6, r19, 1
+	lhzx r20, r13, r6       # entry
+	cmplwi r20, 0xffff
+	beq notfnd
+	slwi r6, r20, 2
+	lwzx r21, r14, r6
+	cmpw r21, r18
+	bne coll
+	mr r16, r20             # found: w = code
+	b mloop
+coll:	addi r19, r19, 1
+	andi. r19, r19, 8191
+	b probe
+notfnd:	bl emit
+	cmpwi r15, 4096
+	bge noins
+	slwi r6, r19, 1
+	sthx r15, r13, r6
+	slwi r6, r15, 2
+	stwx r18, r14, r6
+	addi r15, r15, 1
+noins:	mr r16, r17
+	b mloop
+flush:	bl emit
+fin:	li r0, 0
+	sc
+
+# emit: write code r16 as two bytes. Clobbers r3, r0.
+emit:	srwi r3, r16, 8
+	li r0, 1
+	sc
+	andi. r3, r16, 255
+	li r0, 1
+	sc
+	blr
+` + common,
+		Input: func(scale int) []byte {
+			// Compressible prose with repeats plus a random tail.
+			base := textInput(61, 120*scale)
+			rng := rand.New(rand.NewSource(62))
+			tail := make([]byte, 40*scale)
+			for i := range tail {
+				tail[i] = byte(33 + rng.Intn(90))
+			}
+			out := append([]byte(nil), base...)
+			out = append(out, base...) // repetition: dictionary hits
+			return append(out, tail...)
+		},
+		Model: lzwModel,
+	}
+}

@@ -1,0 +1,294 @@
+package workload
+
+// Gcc is the stand-in for the paper's gcc benchmark: an expression
+// compiler. Phase one is a recursive-descent parser compiling each input
+// line to stack-machine bytecode (PUSH/ADD/SUB/MUL/END); phase two is a
+// bytecode interpreter with a dispatch loop. Parsing plus switch-style
+// dispatch over irregular input reproduces the branchy, large-working-set
+// character that holds gcc's ILP down in Table 5.1.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// gccModel parses and evaluates with the same grammar:
+// expr := term (('+'|'-') term)* ; term := factor ('*' factor)* ;
+// factor := number | '(' expr ')'. Arithmetic is uint32.
+func gccModel(in []byte) []byte {
+	var out []byte
+	for _, line := range strings.Split(string(in), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p := &exprParser{s: line}
+		v := p.expr()
+		out = append(out, fmt.Sprintf("%d\n", v)...)
+	}
+	return out
+}
+
+type exprParser struct {
+	s string
+	i int
+}
+
+func (p *exprParser) peek() byte {
+	for p.i < len(p.s) && p.s[p.i] == ' ' {
+		p.i++
+	}
+	if p.i >= len(p.s) {
+		return 0
+	}
+	return p.s[p.i]
+}
+
+func (p *exprParser) expr() uint32 {
+	v := p.term()
+	for {
+		switch p.peek() {
+		case '+':
+			p.i++
+			v += p.term()
+		case '-':
+			p.i++
+			v -= p.term()
+		default:
+			return v
+		}
+	}
+}
+
+func (p *exprParser) term() uint32 {
+	v := p.factor()
+	for p.peek() == '*' {
+		p.i++
+		v *= p.factor()
+	}
+	return v
+}
+
+func (p *exprParser) factor() uint32 {
+	if p.peek() == '(' {
+		p.i++
+		v := p.expr()
+		p.peek()
+		p.i++ // ')'
+		return v
+	}
+	var v uint32
+	for p.i < len(p.s) && p.s[p.i] >= '0' && p.s[p.i] <= '9' {
+		v = v*10 + uint32(p.s[p.i]-'0')
+		p.i++
+	}
+	return v
+}
+
+// Gcc returns the expression-compiler workload.
+func Gcc() Workload {
+	return Workload{
+		Name: "gcc",
+		Source: `
+	.org 0x10000
+# Register conventions:
+#   r1  call stack pointer (grows down from BUF3+64K)
+#   r28 bytecode emit cursor
+#   r30 lookahead character
+_start:	lis r1, BUF3@h
+	ori r1, r1, BUF3@l
+	addi r1, r1, 0x7000
+	bl nextch
+mline:	cmpwi r30, -1
+	beq endall
+	cmpwi r30, 10
+	bne comp
+	bl nextch
+	b mline
+comp:	lis r28, BUF2@h
+	ori r28, r28, BUF2@l
+	bl cexpr
+	li r4, 4                # END opcode
+	stb r4, 0(r28)
+	bl runvm
+	lis r9, putnum@ha       # indirect call through a "function pointer"
+	addi r9, r9, putnum@l
+	mtctr r9
+	bctrl
+	b mline
+endall:	li r0, 0
+	sc
+
+# nextch: lookahead := getc. Leaf.
+nextch:	li r0, 2
+	sc
+	mr r30, r3
+	blr
+
+# skipsp: advance past spaces. Leaf.
+skipsp:	cmpwi r30, ' '
+	bnelr
+	li r0, 2
+	sc
+	mr r30, r3
+	b skipsp
+
+# cexpr: compile expr := term (('+'|'-') term)*
+cexpr:	mflr r7
+	stwu r7, -4(r1)
+	bl cterm
+cexlp:	bl skipsp
+	cmpwi r30, '+'
+	beq cexadd
+	cmpwi r30, '-'
+	beq cexsub
+	lwz r7, 0(r1)
+	addi r1, r1, 4
+	mtlr r7
+	blr
+cexadd:	bl nextch
+	bl cterm
+	li r4, 1
+	stb r4, 0(r28)
+	addi r28, r28, 1
+	b cexlp
+cexsub:	bl nextch
+	bl cterm
+	li r4, 2
+	stb r4, 0(r28)
+	addi r28, r28, 1
+	b cexlp
+
+# cterm: compile term := factor ('*' factor)*
+cterm:	mflr r7
+	stwu r7, -4(r1)
+	bl cfact
+ctlp:	bl skipsp
+	cmpwi r30, '*'
+	bne ctret
+	bl nextch
+	bl cfact
+	li r4, 3
+	stb r4, 0(r28)
+	addi r28, r28, 1
+	b ctlp
+ctret:	lwz r7, 0(r1)
+	addi r1, r1, 4
+	mtlr r7
+	blr
+
+# cfact: compile factor := number | '(' expr ')'
+cfact:	mflr r7
+	stwu r7, -4(r1)
+	bl skipsp
+	cmpwi r30, '('
+	bne cnum
+	bl nextch
+	bl cexpr
+	bl skipsp
+	bl nextch               # consume ')'
+	b cfret
+cnum:	li r5, 0
+cnlp:	cmpwi r30, '0'
+	blt cndone
+	cmpwi r30, '9'
+	bgt cndone
+	mulli r5, r5, 10
+	subi r4, r30, '0'
+	add r5, r5, r4
+	bl nextch
+	b cnlp
+cndone:	li r4, 0                # PUSH opcode
+	stb r4, 0(r28)
+	stw r5, 1(r28)
+	addi r28, r28, 5
+cfret:	lwz r7, 0(r1)
+	addi r1, r1, 4
+	mtlr r7
+	blr
+
+# runvm: execute the bytecode at BUF2; result in r3. The dispatch is a
+# jump table through the count register — the computed-branch shape of a
+# compiled C switch statement. Clobbers r5-r12 and CTR (saves LR in r27).
+runvm:	mflr r27
+	lis r5, BUF2@h
+	ori r5, r5, BUF2@l      # instruction pointer
+	lis r6, BUF1@h
+	ori r6, r6, BUF1@l      # operand stack (grows up)
+	lis r11, vmtab@ha
+	addi r11, r11, vmtab@l
+vmlp:	lbz r7, 0(r5)
+	addi r5, r5, 1
+	slwi r7, r7, 2
+	lwzx r12, r11, r7
+	mtctr r12
+	bctr
+vmend:	lwz r3, -4(r6)          # END: result on top
+	mtlr r27
+	blr
+vmpush:	lwz r8, 0(r5)
+	addi r5, r5, 4
+	stw r8, 0(r6)
+	addi r6, r6, 4
+	b vmlp
+vmadd:	lwz r8, -8(r6)
+	lwz r9, -4(r6)
+	add r8, r8, r9
+	stw r8, -8(r6)
+	subi r6, r6, 4
+	b vmlp
+vmsub:	lwz r8, -8(r6)
+	lwz r9, -4(r6)
+	subf r8, r9, r8
+	stw r8, -8(r6)
+	subi r6, r6, 4
+	b vmlp
+vmmul:	lwz r8, -8(r6)
+	lwz r9, -4(r6)
+	mullw r8, r8, r9
+	stw r8, -8(r6)
+	subi r6, r6, 4
+	b vmlp
+	.align 4
+vmtab:	.word vmpush, vmadd, vmsub, vmmul, vmend
+` + common,
+		Input: func(scale int) []byte {
+			rng := rand.New(rand.NewSource(71))
+			var out []byte
+			for i := 0; i < 12*scale; i++ {
+				out = append(out, genExpr(rng, 3)...)
+				out = append(out, '\n')
+			}
+			return out
+		},
+		Model: gccModel,
+	}
+}
+
+// genExpr emits a random well-formed expression.
+func genExpr(rng *rand.Rand, depth int) []byte {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return []byte(fmt.Sprint(rng.Intn(1000)))
+	}
+	var out []byte
+	switch rng.Intn(4) {
+	case 0:
+		out = append(out, '(')
+		out = append(out, genExpr(rng, depth-1)...)
+		out = append(out, ')')
+	case 1:
+		out = append(out, genExpr(rng, depth-1)...)
+		out = append(out, []byte(" + ")...)
+		out = append(out, genExpr(rng, depth-1)...)
+	case 2:
+		out = append(out, genExpr(rng, depth-1)...)
+		out = append(out, []byte(" - ")...)
+		out = append(out, genExpr(rng, depth-1)...)
+	default:
+		out = append(out, genExpr(rng, depth-1)...)
+		out = append(out, '*')
+		out = append(out, genExpr(rng, depth-1)...)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lex is a table-free DFA tokenizer in the style of lex-generated
+// scanners: it classifies the input into identifiers, numbers and
+// operators and prints the three counts.
+func Lex() Workload {
+	return Workload{
+		Name: "lex",
+		Source: `
+	.org 0x10000
+_start:	li r13, 0           # identifiers
+	li r14, 0           # numbers
+	li r15, 0           # operators
+	li r20, 0           # state: 0 start, 1 ident, 2 number
+mloop:	li r0, 2
+	sc
+	cmpwi r3, -1
+	beq done
+disp:	cmpwi r20, 1
+	beq inid
+	cmpwi r20, 2
+	beq innum
+	# start state
+	bl classify
+	cmpwi r4, 1
+	bne notl
+	addi r13, r13, 1
+	li r20, 1
+	b mloop
+notl:	cmpwi r4, 2
+	bne notd
+	addi r14, r14, 1
+	li r20, 2
+	b mloop
+notd:	cmpwi r4, 3
+	bne mloop
+	addi r15, r15, 1
+	b mloop
+inid:	bl classify
+	cmpwi r4, 1
+	beq mloop
+	cmpwi r4, 2
+	beq mloop
+	li r20, 0
+	b disp
+innum:	bl classify
+	cmpwi r4, 2
+	beq mloop
+	li r20, 0
+	b disp
+done:	mr r3, r13
+	bl putnum
+	mr r3, r14
+	bl putnum
+	mr r3, r15
+	bl putnum
+	li r0, 0
+	sc
+
+# classify: r3 char -> r4 class (0 other, 1 letter, 2 digit, 3 operator)
+classify:
+	li r4, 1
+	cmpwi r3, 'a'
+	blt notlow
+	cmpwi r3, 'z'
+	blelr
+notlow:	cmpwi r3, 'A'
+	blt notup
+	cmpwi r3, 'Z'
+	blelr
+notup:	li r4, 2
+	cmpwi r3, '0'
+	blt notdig
+	cmpwi r3, '9'
+	blelr
+notdig:	li r4, 3
+	cmpwi r3, '+'
+	beqlr
+	cmpwi r3, '-'
+	beqlr
+	cmpwi r3, '*'
+	beqlr
+	cmpwi r3, '/'
+	beqlr
+	cmpwi r3, '='
+	beqlr
+	cmpwi r3, '<'
+	beqlr
+	cmpwi r3, '>'
+	beqlr
+	li r4, 0
+	blr
+` + common,
+		Input: func(scale int) []byte { return lexInput(51, 250*scale) },
+		Model: func(in []byte) []byte {
+			ids, nums, ops := 0, 0, 0
+			state := 0
+			classify := func(b byte) int {
+				switch {
+				case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z':
+					return 1
+				case b >= '0' && b <= '9':
+					return 2
+				case b == '+' || b == '-' || b == '*' || b == '/' ||
+					b == '=' || b == '<' || b == '>':
+					return 3
+				}
+				return 0
+			}
+			for _, b := range in {
+				c := classify(b)
+			redo:
+				switch state {
+				case 1:
+					if c == 1 || c == 2 {
+						continue
+					}
+					state = 0
+					goto redo
+				case 2:
+					if c == 2 {
+						continue
+					}
+					state = 0
+					goto redo
+				default:
+					switch c {
+					case 1:
+						ids++
+						state = 1
+					case 2:
+						nums++
+						state = 2
+					case 3:
+						ops++
+					}
+				}
+			}
+			return []byte(fmt.Sprintf("%d\n%d\n%d\n", ids, nums, ops))
+		},
+	}
+}
+
+// lexInput builds source-code-like input: identifiers, numbers, operators.
+func lexInput(seed int64, tokens int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var out []byte
+	col := 0
+	for i := 0; i < tokens; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			w := textWords[rng.Intn(len(textWords))]
+			out = append(out, w...)
+			if rng.Intn(3) == 0 {
+				out = append(out, byte('0'+rng.Intn(10)))
+			}
+		case 2:
+			out = append(out, []byte(fmt.Sprint(rng.Intn(100000)))...)
+		default:
+			out = append(out, "+-*/=<>"[rng.Intn(7)])
+		}
+		col++
+		if col%9 == 8 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return append(out, '\n')
+}

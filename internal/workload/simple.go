@@ -1,0 +1,455 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sieve is the Stanford Eratosthenes sieve benchmark: it reads a limit N
+// and prints the number of primes below N.
+func Sieve() Workload {
+	return Workload{
+		Name: "c_sieve",
+		Source: `
+	.org 0x10000
+_start:	bl readnum
+	mr r13, r3          # N
+	lis r14, BUF1@h
+	ori r14, r14, BUF1@l
+	# mark everything prime
+	li r5, 1
+	li r6, 0
+clr:	cmpw r6, r13
+	bge clrd
+	stbx r5, r14, r6
+	addi r6, r6, 1
+	b clr
+clrd:	li r15, 0           # prime count
+	li r7, 2            # candidate
+outer:	cmpw r7, r13
+	bge done
+	lbzx r8, r14, r7
+	cmpwi r8, 0
+	beq next
+	addi r15, r15, 1
+	mullw r9, r7, r7    # first composite: i*i
+inner:	cmpw r9, r13
+	bge next
+	li r10, 0
+	stbx r10, r14, r9
+	add r9, r9, r7
+	b inner
+next:	addi r7, r7, 1
+	b outer
+done:	mr r3, r15
+	bl putnum
+	li r0, 0
+	sc
+` + common,
+		Input: func(scale int) []byte {
+			return []byte(fmt.Sprintf("%d\n", 2000*scale))
+		},
+		Model: func(in []byte) []byte {
+			n := parseNum(in)
+			if n < 3 {
+				return []byte("0\n")
+			}
+			flags := make([]bool, n)
+			count := 0
+			for i := 2; i < n; i++ {
+				flags[i] = true
+			}
+			for i := 2; i < n; i++ {
+				if flags[i] {
+					count++
+					for j := i * i; j < n; j += i {
+						flags[j] = false
+					}
+				}
+			}
+			return []byte(fmt.Sprintf("%d\n", count))
+		},
+	}
+}
+
+func parseNum(in []byte) int {
+	n := 0
+	for _, b := range in {
+		if b < '0' || b > '9' {
+			break
+		}
+		n = n*10 + int(b-'0')
+	}
+	return n
+}
+
+// Wc counts lines, words and characters of its input, like wc(1).
+func Wc() Workload {
+	return Workload{
+		Name: "wc",
+		Source: `
+	.org 0x10000
+_start:	li r13, 0           # lines
+	li r14, 0           # words
+	li r15, 0           # chars
+	li r16, 0           # in-word flag
+loop:	li r0, 2
+	sc
+	cmpwi r3, -1
+	beq done
+	addi r15, r15, 1
+	cmpwi r3, 10
+	bne notnl
+	addi r13, r13, 1
+notnl:	cmpwi r3, ' '
+	beq sep
+	cmpwi r3, 10
+	beq sep
+	cmpwi r3, 9
+	beq sep
+	cmpwi r16, 0
+	bne loop
+	li r16, 1
+	addi r14, r14, 1
+	b loop
+sep:	li r16, 0
+	b loop
+done:	mr r3, r13
+	bl putnum
+	mr r3, r14
+	bl putnum
+	mr r3, r15
+	bl putnum
+	li r0, 0
+	sc
+` + common,
+		Input: func(scale int) []byte { return textInput(11, 400*scale) },
+		Model: func(in []byte) []byte {
+			lines, words, chars := 0, 0, 0
+			inWord := false
+			for _, b := range in {
+				chars++
+				if b == '\n' {
+					lines++
+				}
+				if b == ' ' || b == '\n' || b == '\t' {
+					inWord = false
+				} else if !inWord {
+					inWord = true
+					words++
+				}
+			}
+			return []byte(fmt.Sprintf("%d\n%d\n%d\n", lines, words, chars))
+		},
+	}
+}
+
+// Cmp compares two byte streams separated by a 0x01 byte and prints the
+// length of their common prefix and an equality flag.
+func Cmp() Workload {
+	return Workload{
+		Name: "cmp",
+		Source: `
+	.org 0x10000
+_start:	lis r13, BUF1@h
+	ori r13, r13, BUF1@l
+	mr r5, r13
+rdA:	li r0, 2
+	sc
+	cmpwi r3, 1          # separator
+	beq rdAd
+	cmpwi r3, -1
+	beq rdAd
+	stb r3, 0(r5)
+	addi r5, r5, 1
+	b rdA
+rdAd:	subf r14, r13, r5    # lenA
+	lis r15, BUF2@h
+	ori r15, r15, BUF2@l
+	mr r3, r15
+	bl readall
+	mr r16, r3           # lenB
+	# compare
+	li r7, 0             # index
+	cmpw r14, r16
+	ble minA
+	mr r8, r16
+	b cmploop
+minA:	mr r8, r14           # min length
+cmploop:
+	cmpw r7, r8
+	bge tail
+	lbzx r9, r13, r7
+	lbzx r10, r15, r7
+	cmpw r9, r10
+	bne report
+	addi r7, r7, 1
+	b cmploop
+tail:	# common prefix = min length; equal iff lengths match
+	mr r3, r7
+	bl putnum
+	li r3, 1
+	cmpw r14, r16
+	beq eq
+	li r3, 0
+eq:	bl putnum
+	b fin
+report:	mr r3, r7
+	bl putnum
+	li r3, 0
+	bl putnum
+fin:	li r0, 0
+	sc
+` + common,
+		Input: func(scale int) []byte {
+			a := textInput(21, 150*scale)
+			b := append([]byte(nil), a...)
+			// Mutate one byte two thirds of the way in.
+			if len(b) > 3 {
+				b[len(b)*2/3] ^= 0x20
+			}
+			out := append(append([]byte(nil), a...), 1)
+			return append(out, b...)
+		},
+		Model: func(in []byte) []byte {
+			sep := -1
+			for i, b := range in {
+				if b == 1 {
+					sep = i
+					break
+				}
+			}
+			var a, b []byte
+			if sep < 0 {
+				a = in
+			} else {
+				a, b = in[:sep], in[sep+1:]
+			}
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for i := 0; i < n; i++ {
+				if a[i] != b[i] {
+					return []byte(fmt.Sprintf("%d\n0\n", i))
+				}
+			}
+			eq := 0
+			if len(a) == len(b) {
+				eq = 1
+			}
+			return []byte(fmt.Sprintf("%d\n%d\n", n, eq))
+		},
+	}
+}
+
+// Fgrep counts (possibly overlapping) occurrences of a fixed pattern:
+// input is the pattern, a newline, then the text.
+func Fgrep() Workload {
+	return Workload{
+		Name: "fgrep",
+		Source: `
+	.org 0x10000
+_start:	lis r13, BUF1@h
+	ori r13, r13, BUF1@l
+	mr r5, r13
+rdP:	li r0, 2
+	sc
+	cmpwi r3, 10
+	beq rdPd
+	cmpwi r3, -1
+	beq rdPd
+	stb r3, 0(r5)
+	addi r5, r5, 1
+	b rdP
+rdPd:	subf r14, r13, r5    # pattern length
+	lis r15, BUF2@h
+	ori r15, r15, BUF2@l
+	mr r3, r15
+	bl readall
+	mr r16, r3           # text length
+	li r17, 0            # match count
+	cmpwi r14, 0
+	beq out              # empty pattern: 0 matches
+	subf r18, r14, r16   # last start index
+	li r7, 0             # i
+scan:	cmpw r7, r18
+	bgt out
+	li r8, 0             # j
+	lbz r9, 0(r13)       # pattern[0]
+	lbzx r10, r15, r7
+	cmpw r9, r10         # quick first-byte test
+	bne nomatch
+inner2:	cmpw r8, r14
+	bge hit
+	add r11, r7, r8
+	lbzx r10, r15, r11
+	lbzx r9, r13, r8
+	cmpw r9, r10
+	bne nomatch
+	addi r8, r8, 1
+	b inner2
+hit:	addi r17, r17, 1
+nomatch:
+	addi r7, r7, 1
+	b scan
+out:	mr r3, r17
+	bl putnum
+	li r0, 0
+	sc
+` + common,
+		Input: func(scale int) []byte {
+			text := textInput(31, 300*scale)
+			return append([]byte("the\n"), text...)
+		},
+		Model: func(in []byte) []byte {
+			nl := -1
+			for i, b := range in {
+				if b == '\n' {
+					nl = i
+					break
+				}
+			}
+			if nl < 0 {
+				return []byte("0\n")
+			}
+			pat, text := in[:nl], in[nl+1:]
+			count := 0
+			if len(pat) > 0 {
+				for i := 0; i+len(pat) <= len(text); i++ {
+					ok := true
+					for j := range pat {
+						if text[i+j] != pat[j] {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						count++
+					}
+				}
+			}
+			return []byte(fmt.Sprintf("%d\n", count))
+		},
+	}
+}
+
+// Sort reads its input, sorts the bytes with quicksort (insertion sort
+// below a threshold) and writes the sorted bytes back out.
+func Sort() Workload {
+	return Workload{
+		Name: "sort",
+		Source: `
+	.org 0x10000
+_start:	lis r13, BUF1@h
+	ori r13, r13, BUF1@l
+	mr r3, r13
+	bl readall
+	mr r14, r3           # n
+	cmpwi r14, 2
+	blt emit
+	# explicit range stack at BUF3
+	lis r1, BUF3@h
+	ori r1, r1, BUF3@l
+	li r5, 0             # lo
+	subi r6, r14, 1      # hi
+	stw r5, 0(r1)
+	stw r6, 4(r1)
+	addi r1, r1, 8
+qloop:	lis r7, BUF3@h
+	ori r7, r7, BUF3@l
+	cmpw r1, r7
+	ble emit             # stack empty
+	lwz r6, -4(r1)       # hi
+	lwz r5, -8(r1)       # lo
+	subi r1, r1, 8
+	subf r8, r5, r6      # hi-lo
+	cmpwi r8, 12
+	blt isort
+	# partition: pivot = buf[hi]
+	lbzx r9, r13, r6     # pivot
+	subi r10, r5, 1      # i = lo-1
+	mr r11, r5           # j
+part:	cmpw r11, r6
+	bge pdone
+	lbzx r12, r13, r11
+	cmpw r12, r9
+	bge pskip
+	addi r10, r10, 1
+	lbzx r4, r13, r10
+	stbx r12, r13, r10
+	stbx r4, r13, r11
+pskip:	addi r11, r11, 1
+	b part
+pdone:	addi r10, r10, 1     # pivot slot
+	lbzx r4, r13, r10
+	stbx r9, r13, r10
+	stbx r4, r13, r6
+	# push (lo, p-1) and (p+1, hi)
+	subi r4, r10, 1
+	cmpw r5, r4
+	bge nopush1
+	stw r5, 0(r1)
+	stw r4, 4(r1)
+	addi r1, r1, 8
+nopush1:
+	addi r4, r10, 1
+	cmpw r4, r6
+	bge qloop
+	stw r4, 0(r1)
+	stw r6, 4(r1)
+	addi r1, r1, 8
+	b qloop
+isort:	# insertion sort buf[lo..hi]
+	addi r9, r5, 1       # i
+iloop:	cmpw r9, r6
+	bgt qloop
+	lbzx r10, r13, r9    # key
+	subi r11, r9, 1      # j
+ishift:	cmpw r11, r5
+	blt iplace
+	lbzx r12, r13, r11
+	cmpw r12, r10
+	ble iplace
+	addi r4, r11, 1
+	stbx r12, r13, r4
+	subi r11, r11, 1
+	b ishift
+iplace:	addi r4, r11, 1
+	stbx r10, r13, r4
+	addi r9, r9, 1
+	b iloop
+emit:	mr r3, r13
+	mr r4, r14
+	li r0, 3
+	sc
+	li r0, 0
+	sc
+` + common,
+		Input: func(scale int) []byte {
+			rng := rand.New(rand.NewSource(41))
+			n := 600 * scale
+			out := make([]byte, n)
+			for i := range out {
+				out[i] = byte(32 + rng.Intn(95))
+			}
+			return out
+		},
+		Model: func(in []byte) []byte {
+			out := append([]byte(nil), in...)
+			// counting sort: equivalent result
+			var cnt [256]int
+			for _, b := range out {
+				cnt[b]++
+			}
+			i := 0
+			for v := 0; v < 256; v++ {
+				for k := 0; k < cnt[v]; k++ {
+					out[i] = byte(v)
+					i++
+				}
+			}
+			return out
+		},
+	}
+}

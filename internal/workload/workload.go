@@ -1,0 +1,155 @@
+// Package workload provides the benchmark programs of the paper's
+// evaluation, rewritten for the base-architecture subset: compress (LZW),
+// lex (a DFA tokenizer), fgrep (fixed-string search), wc, cmp, sort
+// (quicksort + insertion sort), c_sieve (the Stanford sieve) and a
+// gcc stand-in (an expression compiler plus bytecode interpreter — the
+// same parse/dispatch-heavy shape that makes gcc hard for ILP machines).
+//
+// Each workload carries its assembly source, a deterministic input
+// generator, and an independent Go model computing the expected output, so
+// the interpreter and the DAISY machine can both be checked against an
+// oracle that shares no code with either.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daisy/internal/asm"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name   string
+	Source string
+	// Input generates a deterministic input stream; scale grows the work
+	// roughly linearly.
+	Input func(scale int) []byte
+	// Model computes the expected output for an input.
+	Model func(in []byte) []byte
+}
+
+// Build assembles the workload.
+func (w Workload) Build() (*asm.Program, error) {
+	p, err := asm.Assemble(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return p, nil
+}
+
+// All returns every workload, in the paper's table order.
+func All() []Workload {
+	return []Workload{
+		Compress(), Lex(), Fgrep(), Wc(), Cmp(), Sort(), Sieve(), Gcc(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// common holds the runtime routines shared by all workloads: decimal
+// output, stream input, and the scratch areas they use. Programs start at
+// 0x10000; big buffers live from 0x100000 up.
+const common = `
+# The shared runtime lives on its own page, like the library code of a
+# real binary: calls into it (and returns out of it) are cross-page
+# branches (Table 5.6).
+	.org 0x14000
+	.equ BUF1, 0x100000
+	.equ BUF2, 0x180000
+	.equ BUF3, 0x200000
+	.equ NUMBUF, 0x280000    # scratch for putnum, away from code pages
+
+# putnum: print unsigned r3 in decimal followed by a newline.
+# clobbers r3-r9 and r0.
+putnum:	lis r4, NUMBUF@h
+	ori r4, r4, NUMBUF@l
+	addi r4, r4, 15
+	li r5, 10
+	li r6, 0
+pn1:	divwu r7, r3, r5
+	mullw r8, r7, r5
+	subf r8, r8, r3
+	addi r8, r8, '0'
+	stbu r8, -1(r4)
+	addi r6, r6, 1
+	mr r3, r7
+	cmpwi r3, 0
+	bne pn1
+	mr r3, r4
+	mr r4, r6
+	li r0, 3
+	sc
+	li r3, 10
+	li r0, 1
+	sc
+	blr
+
+# readall: read the entire input into the buffer at r3.
+# Returns the length in r3. Clobbers r4-r6 and r0.
+readall:
+	mr r5, r3
+	mr r6, r3
+ra1:	li r0, 2
+	sc
+	cmpwi r3, -1
+	beq ra2
+	stb r3, 0(r5)
+	addi r5, r5, 1
+	b ra1
+ra2:	subf r3, r6, r5
+	blr
+
+# readnum: parse an unsigned decimal number from the input, stopping at
+# the first non-digit (consumed). Returns it in r3. Clobbers r4, r0.
+readnum:
+	li r4, 0
+rn1:	li r0, 2
+	sc
+	cmpwi r3, '0'
+	blt rn2
+	cmpwi r3, '9'
+	bgt rn2
+	subi r3, r3, '0'
+	mulli r4, r4, 10
+	add r4, r4, r3
+	b rn1
+rn2:	mr r3, r4
+	blr
+`
+
+// words for synthetic text inputs.
+var textWords = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"daisy", "vliw", "dynamic", "compilation", "architecture", "translation",
+	"register", "renaming", "precise", "exception", "tree", "instruction",
+	"page", "branch", "memory", "cache", "issue", "parallel",
+}
+
+// textInput builds deterministic prose-like input.
+func textInput(seed int64, words int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var out []byte
+	col := 0
+	for i := 0; i < words; i++ {
+		w := textWords[rng.Intn(len(textWords))]
+		out = append(out, w...)
+		col += len(w) + 1
+		if col > 60 {
+			out = append(out, '\n')
+			col = 0
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	out = append(out, '\n')
+	return out
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+	"daisy/internal/vmm"
+)
+
+const memSize = 8 << 20
+
+// runInterp executes the workload on the reference interpreter.
+func runInterp(t *testing.T, w Workload, input []byte) ([]byte, uint64) {
+	t.Helper()
+	prog, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(memSize)
+	if err := prog.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	env := &interp.Env{In: input}
+	ip := interp.New(m, env, prog.Entry())
+	if err := ip.Run(500_000_000); !errors.Is(err, interp.ErrHalt) {
+		t.Fatalf("%s: interpreter: %v (pc=%#x)", w.Name, err, ip.St.PC)
+	}
+	return env.Out, ip.InstCount
+}
+
+// TestModelsAgainstInterpreter checks, for every workload, that the
+// assembly program and the independent Go model produce identical output.
+func TestModelsAgainstInterpreter(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, scale := range []int{1, 2} {
+				in := w.Input(scale)
+				got, insts := runInterp(t, w, in)
+				want := w.Model(in)
+				if !bytes.Equal(got, want) {
+					limit := func(b []byte) []byte {
+						if len(b) > 120 {
+							return b[:120]
+						}
+						return b
+					}
+					t.Fatalf("scale %d: output mismatch\n got: %q\nwant: %q",
+						scale, limit(got), limit(want))
+				}
+				if insts == 0 {
+					t.Fatal("no instructions executed")
+				}
+				t.Logf("scale %d: %d instructions, %d output bytes", scale, insts, len(got))
+			}
+		})
+	}
+}
+
+// TestWorkloadsUnderDAISY is the headline integration test: every
+// benchmark must produce bit-identical output and instruction counts under
+// the DAISY VMM.
+func TestWorkloadsUnderDAISY(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			in := w.Input(1)
+			prog, err := w.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			m1 := mem.New(memSize)
+			_ = prog.Load(m1)
+			env1 := &interp.Env{In: in}
+			ip := interp.New(m1, env1, prog.Entry())
+			if err := ip.Run(500_000_000); !errors.Is(err, interp.ErrHalt) {
+				t.Fatalf("interp: %v", err)
+			}
+
+			m2 := mem.New(memSize)
+			_ = prog.Load(m2)
+			env2 := &interp.Env{In: in}
+			ma := vmm.New(m2, env2, vmm.DefaultOptions())
+			if err := ma.Run(prog.Entry(), 2_000_000_000); err != nil {
+				t.Fatalf("vmm: %v", err)
+			}
+
+			if !bytes.Equal(env1.Out, env2.Out) {
+				t.Fatalf("output differs:\n got %q\nwant %q", env2.Out, env1.Out)
+			}
+			if got, want := ma.Stats.BaseInsts(), ip.InstCount; got != want {
+				t.Fatalf("instruction counts: vmm=%d interp=%d", got, want)
+			}
+			if !m1.EqualData(m2) {
+				t.Fatalf("memory images differ at %#x", m1.FirstDifference(m2))
+			}
+			st1, st2 := ip.St, ma.St
+			st2.PC = st1.PC
+			if d := st1.Diff(&st2); d != "" {
+				t.Fatalf("final state: %s", d)
+			}
+			t.Logf("%s: ILP %.2f (%d insts / %d VLIWs), %d interp, %d aliases",
+				w.Name, ma.Stats.ILP(), ma.Stats.BaseInsts(),
+				ma.Stats.Exec.VLIWs, ma.Stats.InterpInsts, ma.Stats.Exec.Aliases)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("wc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a := w.Input(2)
+		b := w.Input(2)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: input generator is not deterministic", w.Name)
+		}
+		if bytes.Equal(w.Input(3), w.Input(1)) {
+			t.Errorf("%s: scale has no effect on the input", w.Name)
+		}
+	}
+}
+
+func TestLZWModelRoundTrippable(t *testing.T) {
+	// The model must emit one 2-byte code per dictionary miss and be
+	// decodable; spot-check by decoding and comparing.
+	in := []byte("abababababab the quick brown fox abababab")
+	out := lzwModel(in)
+	if len(out)%2 != 0 {
+		t.Fatal("odd output length")
+	}
+	codes := make([]uint32, 0, len(out)/2)
+	for i := 0; i < len(out); i += 2 {
+		codes = append(codes, uint32(out[i])<<8|uint32(out[i+1]))
+	}
+	// LZW decode.
+	type entry struct {
+		prefix int
+		ch     byte
+	}
+	dict := make([]entry, 256, 4096)
+	for i := range dict {
+		dict[i] = entry{-1, byte(i)}
+	}
+	expand := func(code uint32) []byte {
+		var rev []byte
+		c := int(code)
+		for c >= 0 {
+			rev = append(rev, dict[c].ch)
+			c = dict[c].prefix
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+	var dec []byte
+	prev := -1
+	for _, code := range codes {
+		var s []byte
+		if int(code) < len(dict) {
+			s = expand(code)
+		} else {
+			// KwKwK case: prev string + its first byte.
+			s = append(expand(uint32(prev)), expand(uint32(prev))[0])
+		}
+		dec = append(dec, s...)
+		if prev >= 0 && len(dict) < 4096 {
+			dict = append(dict, entry{prev, s[0]})
+		}
+		prev = int(code)
+	}
+	if !bytes.Equal(dec, in) {
+		t.Fatalf("LZW decode mismatch:\n got %q\nwant %q", dec, in)
+	}
+}
