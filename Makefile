@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race chaos-smoke ci bench experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic chaos pass: every workload under every injector,
+# fixed seeds, so CI failures are replayable with the printed triple.
+chaos-smoke:
+	$(GO) run ./cmd/daisy-chaos -seed 1 -seeds 2
+
+ci: vet build race chaos-smoke
+
+bench:
+	$(GO) test -bench=. -benchtime=1x
+
+experiments:
+	$(GO) run ./cmd/daisy-experiments

@@ -1,0 +1,125 @@
+// daisy-chaos runs the fault-injection / lockstep-validation harness from
+// the command line: every run executes a workload simultaneously on the
+// DAISY machine and on the reference interpreter, with a seeded injector
+// disturbing the machine's translation machinery, and fails loudly if the
+// two ever disagree on architected state, memory or output.
+//
+// Because injections are a deterministic function of (workload, injector,
+// seed), any failing combination a test run reports can be replayed here
+// exactly, with the divergence bisected to the base instruction that
+// produced the wrong value and the offending translated group dumped.
+//
+// Usage:
+//
+//	daisy-chaos                          # full matrix, seeds 1..4
+//	daisy-chaos -workload wc             # one workload, all injectors
+//	daisy-chaos -injector smc-storm      # one injector, all workloads
+//	daisy-chaos -workload wc -injector mem-fault -seed 17 -v   # replay one run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"daisy/internal/chaos"
+	"daisy/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "all", "workload name, or \"all\"")
+		injName  = flag.String("injector", "all", "injector name, \"none\", or \"all\"")
+		seed     = flag.Int64("seed", 1, "first injector seed")
+		seeds    = flag.Int("seeds", 4, "number of consecutive seeds per combination")
+		scale    = flag.Int("scale", 1, "workload input scale")
+		maxInsts = flag.Uint64("max", 0, "instruction budget per run (0: default)")
+		verbose  = flag.Bool("v", false, "print the offending group on divergence")
+	)
+	flag.Parse()
+
+	names := func() []string {
+		var n []string
+		for _, in := range chaos.Injectors() {
+			n = append(n, in.Name())
+		}
+		return n
+	}
+	var wls []workload.Workload
+	if *wlName == "all" {
+		wls = workload.All()
+	} else {
+		w, err := workload.ByName(*wlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "daisy-chaos:", err)
+			os.Exit(2)
+		}
+		wls = []workload.Workload{w}
+	}
+	var injs []chaos.Injector
+	if *injName == "all" {
+		injs = append([]chaos.Injector{nil}, chaos.Injectors()...)
+	} else {
+		in, err := chaos.ByName(*injName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "daisy-chaos: %v (have: none, %s)\n", err, strings.Join(names(), ", "))
+			os.Exit(2)
+		}
+		injs = []chaos.Injector{in}
+	}
+
+	failures := 0
+	for _, w := range wls {
+		for _, inj := range injs {
+			injLabel := "none"
+			nSeeds := 1 // an uninjected run is seed-independent
+			if inj != nil {
+				injLabel = inj.Name()
+				nSeeds = *seeds
+			}
+			for s := *seed; s < *seed+int64(nSeeds); s++ {
+				rep, err := chaos.Run(chaos.Scenario{
+					Workload: w,
+					Scale:    *scale,
+					Seed:     s,
+					Injector: inj,
+					MaxInsts: *maxInsts,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "daisy-chaos: %s/%s seed %d: %v\n", w.Name, injLabel, s, err)
+					os.Exit(1)
+				}
+				status := "ok"
+				switch {
+				case rep.Divergence != nil:
+					status = "DIVERGED"
+					failures++
+				case rep.Truncated:
+					status = "ok (truncated)"
+				}
+				fmt.Printf("%-10s %-14s seed=%-3d %9d insts  injected=%-4d quarantines=%d/%d  %s\n",
+					w.Name, injLabel, s, rep.Insts, rep.Stats.InjectedFaults,
+					rep.Stats.Quarantines, rep.Stats.QuarantineReleases, status)
+				if d := rep.Divergence; d != nil {
+					fmt.Printf("  %s\n", d)
+					if *verbose && d.GroupDump != "" {
+						fmt.Println(indent(d.GroupDump, "  | "))
+					}
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "daisy-chaos: %d divergence(s) — architectural compatibility violated\n", failures)
+		os.Exit(1)
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}

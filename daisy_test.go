@@ -76,3 +76,27 @@ func TestPublicWorkloads(t *testing.T) {
 		t.Fatal("machine configurations")
 	}
 }
+
+func TestPublicChaos(t *testing.T) {
+	w, err := WorkloadByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := ChaosInjectorByName("smc-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunChaos(ChaosScenario{Workload: w, Seed: 1, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergence != nil {
+		t.Fatalf("lockstep diverged: %v", rep.Divergence)
+	}
+	if !rep.Halted {
+		t.Fatal("workload did not halt")
+	}
+	if len(ChaosInjectors()) != 5 {
+		t.Fatalf("expected 5 injectors, got %d", len(ChaosInjectors()))
+	}
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"daisy/internal/workload"
+)
+
+// TestLockstepMatrix is the harness's headline assertion: every workload,
+// under every injector, for several seeds, stays bit-identical to the
+// reference interpreter at every precise boundary — and, independently,
+// matches the workload's oracle model, which shares no code with either
+// execution engine.
+func TestLockstepMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	injectors := append([]Injector{nil}, Injectors()...)
+	for _, w := range workload.All() {
+		w := w
+		for _, inj := range injectors {
+			inj := inj
+			name := "none"
+			if inj != nil {
+				name = inj.Name()
+			}
+			t.Run(w.Name+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				runSeeds := seeds
+				if inj == nil {
+					// Without an injector the run is seed-independent.
+					runSeeds = seeds[:1]
+				}
+				want := w.Model(w.Input(1))
+				var injected uint64
+				for _, seed := range runSeeds {
+					rep, err := Run(Scenario{Workload: w, Seed: seed, Injector: inj})
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if d := rep.Divergence; d != nil {
+						t.Fatalf("seed %d: compatibility violated: %v\nwindow %v\n%s",
+							seed, d, d.Window, d.GroupDump)
+					}
+					if !rep.Halted {
+						t.Fatalf("seed %d: run did not halt (%d insts)", seed, rep.Insts)
+					}
+					if !bytes.Equal(rep.Output, want) {
+						t.Fatalf("seed %d: output disagrees with oracle model", seed)
+					}
+					injected += rep.Stats.InjectedFaults
+				}
+				if inj != nil && injected == 0 {
+					t.Logf("note: %s never fired on %s", name, w.Name)
+				}
+			})
+		}
+	}
+}
+
+// TestQuarantineEngagesUnderStorm checks graceful degradation end to end
+// inside the harness: an SMC storm on a workload must eventually drive
+// pages into interpret-only quarantine, later release them, and through
+// it all keep the output oracle-correct.
+func TestQuarantineEngagesUnderStorm(t *testing.T) {
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := ByName("smc-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawQuarantine, sawRelease bool
+	for seed := int64(1); seed <= 8; seed++ {
+		rep, err := Run(Scenario{Workload: w, Seed: seed, Injector: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Divergence != nil {
+			t.Fatalf("seed %d: %v", seed, rep.Divergence)
+		}
+		sawQuarantine = sawQuarantine || rep.Stats.Quarantines > 0
+		sawRelease = sawRelease || rep.Stats.QuarantineReleases > 0
+	}
+	if !sawQuarantine {
+		t.Error("smc-storm never drove a page into quarantine")
+	}
+	if !sawRelease {
+		t.Error("no quarantine was ever released")
+	}
+}
+
+// TestInjectorRegistry checks the name-based lookup the CLI uses.
+func TestInjectorRegistry(t *testing.T) {
+	for _, in := range Injectors() {
+		got, err := ByName(in.Name())
+		if err != nil || got == nil || got.Name() != in.Name() {
+			t.Errorf("ByName(%q) = %v, %v", in.Name(), got, err)
+		}
+	}
+	if in, err := ByName("none"); err != nil || in != nil {
+		t.Errorf("ByName(none) = %v, %v; want nil, nil", in, err)
+	}
+	if _, err := ByName("no-such-injector"); err == nil {
+		t.Error("ByName(no-such-injector) succeeded")
+	}
+}

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daisy/internal/mem"
+	"daisy/internal/vmm"
+)
+
+// Injector is one seeded source of adversity. Tune adjusts the machine
+// options before construction (shrinking the page pool, starving the
+// interpreter budget); Arm wires the injector's hooks into a freshly
+// built machine. Both must be deterministic functions of the *rand.Rand
+// they are armed with: the lockstep bisector replays a scenario from
+// scratch and every injection must land on the same dynamic event.
+//
+// Injections are deliberately confined to the translated-execution side
+// of the machine (executor hooks, translation-cache surgery). The
+// interpreter is the reference semantics, so the VMM's recovery paths —
+// which all funnel through interpretation — re-execute the disturbed
+// work cleanly, and every injection is recoverable by construction. An
+// injector that changed architected inputs (memory contents, I/O) would
+// not be testing the VMM; it would be testing a different program.
+type Injector interface {
+	// Name identifies the injector for CLI selection and reports.
+	Name() string
+	// Tune adjusts machine options before the machine is built.
+	Tune(opt *vmm.Options)
+	// Arm installs the injector's hooks on a built machine.
+	Arm(m *vmm.Machine, rng *rand.Rand)
+}
+
+// Injectors returns every injector, in a fixed order.
+func Injectors() []Injector {
+	return []Injector{
+		aliasForce{},
+		memFault{},
+		smcStorm{},
+		castOutChurn{},
+		interpStarve{},
+	}
+}
+
+// ByName returns the named injector, or nil for "none".
+func ByName(name string) (Injector, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	for _, in := range Injectors() {
+		if in.Name() == name {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("chaos: unknown injector %q", name)
+}
+
+// aliasForce forces spurious load-verify mismatches: a fraction of
+// verify parcels report an alias even though memory never changed,
+// driving the §3.5 roll-back-and-reexecute path far more often than real
+// store aliasing would.
+type aliasForce struct{}
+
+func (aliasForce) Name() string          { return "alias-force" }
+func (aliasForce) Tune(opt *vmm.Options) {}
+func (aliasForce) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.Exec.AliasHook = func(pc, addr uint32) bool {
+		if rng.Intn(16) != 0 {
+			return false
+		}
+		m.Stats.InjectedFaults++
+		return true
+	}
+}
+
+// memFault injects storage exceptions into a fraction of translated data
+// accesses. A speculative load merely tags its destination (the deferred
+// exception machinery of §2.1 must absorb it); a committed access rolls
+// the VLIW back to its precise entry and recovery re-executes
+// interpretively, where the hook does not exist and the access succeeds.
+type memFault struct{}
+
+func (memFault) Name() string          { return "mem-fault" }
+func (memFault) Tune(opt *vmm.Options) {}
+func (memFault) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.Exec.FaultHook = func(pc, addr uint32, size int, write bool) *mem.Fault {
+		if rng.Intn(700) != 0 {
+			return nil
+		}
+		m.Stats.InjectedFaults++
+		return &mem.Fault{Addr: addr, Write: write, Kind: mem.FaultInjected}
+	}
+}
+
+// smcStorm raises spurious self-modifying-code events: translated pages
+// are marked dirty as though the program had stored into them, forcing
+// the §3.2 invalidate-and-retranslate path (and, with quarantine
+// enabled, eventually the interpret-only degradation) without the code
+// ever changing.
+type smcStorm struct{}
+
+func (smcStorm) Name() string          { return "smc-storm" }
+func (smcStorm) Tune(opt *vmm.Options) {}
+func (smcStorm) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.OnGroupStart = func(pc uint32) {
+		if rng.Intn(24) != 0 {
+			return
+		}
+		pages := m.TranslatedPages()
+		if len(pages) == 0 {
+			return
+		}
+		m.InjectSMC(pages[rng.Intn(len(pages))])
+		m.Stats.InjectedFaults++
+	}
+}
+
+// castOutChurn shrinks the translated-page pool to a single page and
+// additionally invalidates random translations, so nearly every
+// cross-page transfer pays a full retranslation: the paper's cast-out
+// machinery under maximum pressure.
+type castOutChurn struct{}
+
+func (castOutChurn) Name() string          { return "castout-churn" }
+func (castOutChurn) Tune(opt *vmm.Options) { opt.MaxPages = 1 }
+func (castOutChurn) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.OnGroupStart = func(pc uint32) {
+		if rng.Intn(12) != 0 {
+			return
+		}
+		pages := m.TranslatedPages()
+		if len(pages) == 0 {
+			return
+		}
+		m.InvalidatePage(pages[rng.Intn(len(pages))])
+		m.Stats.InjectedFaults++
+	}
+}
+
+// interpStarve cuts the interpreter budget to a single instruction and
+// supplies a trickle of injected storage faults to force recovery into
+// it. Each recovery then interprets exactly one instruction and must
+// immediately re-enter translated mode, planting an entry point mid
+// basic-block — the worst case for the §3.4 rule that the VMM should
+// leave interpretive mode quickly.
+type interpStarve struct{}
+
+func (interpStarve) Name() string          { return "interp-starve" }
+func (interpStarve) Tune(opt *vmm.Options) { opt.InterpBudget = 1 }
+func (interpStarve) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.Exec.FaultHook = func(pc, addr uint32, size int, write bool) *mem.Fault {
+		if rng.Intn(1500) != 0 {
+			return nil
+		}
+		m.Stats.InjectedFaults++
+		return &mem.Fault{Addr: addr, Write: write, Kind: mem.FaultInjected}
+	}
+}

@@ -153,6 +153,21 @@ func (ip *Interp) Run(max uint64) error {
 	return fmt.Errorf("interp: instruction budget %d exhausted at pc %#x", max, ip.St.PC)
 }
 
+// RunTo executes until InstCount reaches target, returning nil once it
+// does (immediately if already there). Any earlier halt or fault is
+// returned as the error. It is the reference-side pump of the lockstep
+// differential checker: the DAISY machine advances to a precise boundary,
+// then the interpreter is run to the identical completed-instruction
+// count and the two architected states must be bit-identical.
+func (ip *Interp) RunTo(target uint64) error {
+	for ip.InstCount < target {
+		if err := ip.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Step executes a single instruction. On a memory fault the architected
 // state is unchanged (the fault is precise).
 func (ip *Interp) Step() error {

@@ -16,6 +16,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // ProtectShift is log2 of the protection unit size (4K, as the paper
@@ -61,7 +62,16 @@ type Memory struct {
 	// unit whose read-only bit is set. addr is the store address.
 	OnProtectedStore func(addr uint32, size int)
 
+	// FaultHook, if non-nil, may veto any access before it is performed:
+	// returning true raises FaultInjected at that address. It is the
+	// memory-level injection point of the chaos harness; InjectFault is
+	// the address-keyed special case kept for the exception experiments.
+	FaultHook func(addr uint32, size int, write bool) bool
+
 	injected map[uint32]bool
+
+	trackWrites bool
+	dirtyUnits  map[uint32]struct{}
 }
 
 // New allocates size bytes of zeroed physical memory. size is rounded up to
@@ -154,6 +164,9 @@ func (m *Memory) check(addr uint32, size int, write bool) error {
 	if m.injected != nil && m.injected[addr] {
 		return &Fault{Addr: addr, Write: write, Kind: FaultInjected}
 	}
+	if m.FaultHook != nil && m.FaultHook(addr, size, write) {
+		return &Fault{Addr: addr, Write: write, Kind: FaultInjected}
+	}
 	return nil
 }
 
@@ -171,9 +184,49 @@ func (m *Memory) CheckRead(addr uint32, size int) error {
 }
 
 func (m *Memory) noteStore(addr uint32, size int) {
+	if m.trackWrites {
+		m.dirtyUnits[addr>>ProtectShift] = struct{}{}
+		if size > 1 {
+			m.dirtyUnits[(addr+uint32(size)-1)>>ProtectShift] = struct{}{}
+		}
+	}
 	if m.OnProtectedStore != nil && m.ro[addr>>ProtectShift] {
 		m.OnProtectedStore(addr, size)
 	}
+}
+
+// TrackWrites enables (or disables) recording of the protection units
+// touched by emulated stores, so a differential checker can compare only
+// the memory that could have changed since its last synchronization point
+// instead of hashing the whole image.
+func (m *Memory) TrackWrites(on bool) {
+	m.trackWrites = on
+	if on && m.dirtyUnits == nil {
+		m.dirtyUnits = make(map[uint32]struct{})
+	}
+}
+
+// TakeDirtyUnits returns the protection units written since the last call
+// (ascending) and clears the record.
+func (m *Memory) TakeDirtyUnits() []uint32 {
+	if len(m.dirtyUnits) == 0 {
+		return nil
+	}
+	units := make([]uint32, 0, len(m.dirtyUnits))
+	for u := range m.dirtyUnits {
+		units = append(units, u)
+	}
+	for k := range m.dirtyUnits {
+		delete(m.dirtyUnits, k)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	return units
+}
+
+// UnitBytes returns the raw contents of one protection unit (nil if the
+// unit is out of range).
+func (m *Memory) UnitBytes(unit uint32) []byte {
+	return m.Bytes(unit<<ProtectShift, 1<<ProtectShift)
 }
 
 // Read8 loads one byte.

@@ -260,6 +260,36 @@ func (i Inst) IsStore() bool {
 	return false
 }
 
+// DefGPRs returns a bitmask (bit n = GPR n) of the general purpose
+// registers the instruction writes. sc is reported conservatively as
+// writing r3, the syscall result register. Differential checkers use
+// this to attribute a wrong register value to its writer even when the
+// write happened to store the value the register already held.
+func (i Inst) DefGPRs() uint32 {
+	switch i.Op {
+	case OpAddi, OpAddis, OpAddic, OpAddicRC, OpSubfic, OpMulli,
+		OpAdd, OpAddc, OpAdde, OpSubf, OpSubfc, OpSubfe, OpNeg,
+		OpMullw, OpMulhwu, OpDivw, OpDivwu,
+		OpMfspr, OpMfcr,
+		OpLwz, OpLbz, OpLhz, OpLha, OpLwzx, OpLbzx, OpLhzx:
+		return 1 << i.RT
+	case OpOri, OpOris, OpXori, OpXoris, OpAndiRC, OpAndisRC,
+		OpRlwinm, OpRlwimi,
+		OpAnd, OpAndc, OpOr, OpNor, OpXor, OpNand,
+		OpSlw, OpSrw, OpSraw, OpSrawi, OpCntlzw, OpExtsb, OpExtsh:
+		return 1 << i.RA
+	case OpLwzu, OpLbzu, OpLhzu:
+		return 1<<i.RT | 1<<i.RA
+	case OpStwu, OpStbu, OpSthu:
+		return 1 << i.RA
+	case OpLmw:
+		return ^uint32(0) << i.RT
+	case OpSc:
+		return 1 << 3
+	}
+	return 0
+}
+
 // MemSize returns the access width in bytes for loads/stores (4 for the
 // multiple forms, which are cracked into word accesses).
 func (i Inst) MemSize() int {

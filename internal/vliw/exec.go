@@ -54,6 +54,7 @@ type pendingStore struct {
 	addr uint32
 	size uint8
 	val  uint32
+	pc   uint32 // originating base-instruction address
 }
 
 // Executor runs tree VLIW instructions against a register file and the
@@ -84,6 +85,22 @@ type Executor struct {
 	// a speculative load tags its destination; on a committed access it
 	// rolls the VLIW back like any other storage exception.
 	AddrXlate func(vaddr uint32, write bool) (uint32, *mem.Fault)
+
+	// FaultHook, when non-nil, may inject a storage fault into a data
+	// access of translated code before the access is performed. pc is the
+	// originating base-instruction address. An injected fault behaves
+	// exactly like a real storage exception: a speculative load only tags
+	// its destination, a committed access rolls the VLIW back. Because the
+	// hook is consulted only here — never by the interpreter — the VMM's
+	// recovery path re-executes the access cleanly, which is what makes
+	// the injection recoverable and therefore chaos-testable.
+	FaultHook func(pc, addr uint32, size int, write bool) *mem.Fault
+
+	// AliasHook, when non-nil, may force a load-verify mismatch on the
+	// commit copy of a speculated load (pc is the load's base address,
+	// addr its effective address). A forced mismatch takes the ordinary
+	// alias recovery path: roll back and re-execute interpretively.
+	AliasHook func(pc, addr uint32) bool
 
 	spec [NumGPR]specRec
 }
@@ -155,6 +172,11 @@ func (e *Executor) Exec(v *VLIW) (Exit, *Fault) {
 	// Two-phase store commit: validate everything, then apply, so a
 	// faulting store leaves memory untouched for the rollback.
 	for _, s := range stores {
+		if e.FaultHook != nil {
+			if f := e.FaultHook(s.pc, s.addr, int(s.size), true); f != nil {
+				return fail(n, -1, f, false)
+			}
+		}
 		if err := e.Mem.CheckWrite(s.addr, int(s.size)); err != nil {
 			return fail(n, -1, err, false)
 		}
@@ -487,6 +509,9 @@ func (e *Executor) execCopy(p *Parcel, snap *RegFile) (error, bool) {
 	}
 	if p.Verify && p.A.Kind == RGPR {
 		if rec := e.spec[p.A.N]; rec.valid {
+			if e.AliasHook != nil && e.AliasHook(p.BaseAddr, rec.addr) {
+				return nil, true
+			}
 			fresh, err := e.readMem(rec.addr, rec.size, rec.signed)
 			if err != nil {
 				return err, false
@@ -562,6 +587,16 @@ func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
 		}
 		ea = pa
 	}
+	if e.FaultHook != nil {
+		if f := e.FaultHook(p.BaseAddr, ea, int(p.Size), false); f != nil {
+			if p.Spec {
+				e.RF.WriteTagged(p.D, f)
+				e.noteWrite(p.D, specRec{})
+				return nil, false
+			}
+			return f, false
+		}
+	}
 	if e.OnMem != nil {
 		e.OnMem(ea, int(p.Size), false)
 	}
@@ -606,7 +641,7 @@ func (e *Executor) execStore(p *Parcel, snap *RegFile, stores *[]pendingStore) (
 		}
 		ea = pa
 	}
-	*stores = append(*stores, pendingStore{addr: ea, size: p.Size, val: v})
+	*stores = append(*stores, pendingStore{addr: ea, size: p.Size, val: v, pc: p.BaseAddr})
 	return nil, false
 }
 

@@ -1,0 +1,79 @@
+package vmm
+
+// pageLRU orders translated-page bases by recency with O(1) touch, remove
+// and victim selection. The VMM previously kept a plain slice, which made
+// every touch and invalidation O(pages) — quadratic under the cast-out
+// storms the chaos harness provokes with a MaxPages=1 pool.
+type pageLRU struct {
+	nodes map[uint32]*lruNode
+	head  *lruNode // least recently used
+	tail  *lruNode // most recently used
+}
+
+type lruNode struct {
+	base       uint32
+	prev, next *lruNode
+}
+
+func newPageLRU() *pageLRU {
+	return &pageLRU{nodes: make(map[uint32]*lruNode)}
+}
+
+func (l *pageLRU) len() int { return len(l.nodes) }
+
+// touch moves base to the most-recent position, inserting it if absent.
+func (l *pageLRU) touch(base uint32) {
+	if n, ok := l.nodes[base]; ok {
+		if n == l.tail {
+			return
+		}
+		l.unlink(n)
+		l.append(n)
+		return
+	}
+	n := &lruNode{base: base}
+	l.nodes[base] = n
+	l.append(n)
+}
+
+// remove deletes base from the order (a no-op if absent).
+func (l *pageLRU) remove(base uint32) {
+	n, ok := l.nodes[base]
+	if !ok {
+		return
+	}
+	l.unlink(n)
+	delete(l.nodes, base)
+}
+
+// victim returns the least recently used base without removing it.
+func (l *pageLRU) victim() (uint32, bool) {
+	if l.head == nil {
+		return 0, false
+	}
+	return l.head.base, true
+}
+
+func (l *pageLRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *pageLRU) append(n *lruNode) {
+	n.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+}

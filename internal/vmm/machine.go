@@ -14,6 +14,7 @@ package vmm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"daisy/internal/core"
 	"daisy/internal/interp"
@@ -55,6 +56,23 @@ type Options struct {
 	// compiles only that path. Cold branch sides stay untranslated until
 	// execution reaches them.
 	Interpretive bool
+
+	// QuarantineThreshold enables graceful degradation: a page suffering
+	// this many translation-trouble events (SMC invalidations, alias
+	// recoveries, recovered exceptions) within QuarantineWindow completed
+	// instructions is blacklisted to interpret-only mode instead of being
+	// retranslated, so a thrashing page degrades to interpreter speed
+	// rather than paying translation cost on every trip. 0 disables.
+	QuarantineThreshold int
+
+	// QuarantineWindow is the event-counting window, in completed base
+	// instructions.
+	QuarantineWindow uint64
+
+	// QuarantineBackoff is the first quarantine span in completed base
+	// instructions; each re-quarantine of the same page doubles it
+	// (exponential backoff before translation is retried).
+	QuarantineBackoff uint64
 }
 
 // DefaultOptions mirrors the paper's headline setup.
@@ -83,6 +101,10 @@ type Stats struct {
 	AliasRecoveries     uint64 // load-verify re-executions (Table 5.7)
 	AliasRetranslations uint64 // entries rebuilt without load speculation
 	TraceRecInsts       uint64 // instructions interpreted by the trace recorder
+
+	Quarantines        uint64 // pages degraded to interpret-only mode
+	QuarantineReleases uint64 // quarantines expired (translation retried)
+	InjectedFaults     uint64 // chaos-harness injections observed
 
 	Cycles      uint64 // VLIW issue cycles (one per attempted tree instruction)
 	StallCycles uint64 // extra cycles from the attached cache model
@@ -135,9 +157,30 @@ type Machine struct {
 	// access (wired to the cache simulator).
 	StallFn func(addr uint32, size int, write bool, fetch bool) uint64
 
+	// OnGroupStart, if non-nil, observes the base PC at the top of every
+	// translated-execution attempt (one call per runGroup). The chaos
+	// harness drives its SMC-storm and cast-out injectors from it.
+	OnGroupStart func(pc uint32)
+
+	// OnTranslate, if non-nil, observes every page translation the moment
+	// it is built or extended with a new entry group — before any of its
+	// code runs. The chaos mutation tests use it to plant translator bugs.
+	OnTranslate func(pt *core.PageTranslation)
+
+	// OnBoundary, if non-nil, observes every committed VLIW boundary with
+	// the total completed base-instruction count. In precise-exception
+	// mode each such boundary is an exact architected state (Chapter 2),
+	// which is what the lockstep bisector exploits; the hook is not
+	// invoked in imprecise mode, where only group entries are precise.
+	OnBoundary func(completed uint64)
+
 	pages map[uint32]*core.PageTranslation
-	lru   []uint32 // page bases, most recent last
+	lru   *pageLRU
 	dirty map[uint32]bool
+
+	// quar tracks per-page translation trouble for the interpret-only
+	// quarantine (graceful degradation; see quarantine.go).
+	quar map[uint32]*quarState
 
 	// Adaptive speculation throttle (§5: "an entry point could be
 	// retranslated with movement of loads above stores inhibited"):
@@ -181,7 +224,9 @@ func New(m *mem.Memory, env *interp.Env, opt Options) *Machine {
 		Exec:       &vliw.Executor{Mem: m},
 		Opt:        opt,
 		pages:      make(map[uint32]*core.PageTranslation),
+		lru:        newPageLRU(),
 		dirty:      make(map[uint32]bool),
+		quar:       make(map[uint32]*quarState),
 		aliasCount: make(map[uint32]int),
 		inhibit:    make(map[uint32]bool),
 	}
@@ -217,29 +262,46 @@ var ErrBudget = errors.New("vmm: instruction budget exhausted")
 // Run executes from entry until the program halts (returns nil), the
 // instruction budget is exhausted, or an unrecoverable error occurs.
 func (m *Machine) Run(entry uint32, maxInsts uint64) error {
-	m.St.PC = entry
-	m.maxInsts = maxInsts
-	m.Exec.RF.FromState(&m.St)
+	m.Start(entry, maxInsts)
 	for {
-		if err := m.checkBudget(); err != nil {
-			return err
-		}
-		halt, err := m.runGroup()
-		if errors.Is(err, errHaltFromInterp) {
-			return nil
-		}
+		halted, err := m.StepGroup()
 		if err != nil {
 			return err
 		}
-		if halt {
-			m.Exec.RF.ToState(&m.St)
+		if halted {
 			return nil
 		}
 	}
 }
 
+// Start prepares the machine to execute from entry with the given
+// instruction budget (0: unlimited), without running anything. Callers
+// then drive execution with StepGroup; Run is the Start+StepGroup loop.
+func (m *Machine) Start(entry uint32, maxInsts uint64) {
+	m.St.PC = entry
+	m.maxInsts = maxInsts
+	m.Exec.RF.FromState(&m.St)
+}
+
+// StepGroup advances execution to the next precise synchronization point:
+// a group exit, a serviced system call, or a halt. On return St holds the
+// complete architected state, making every boundary a valid comparison
+// point for a lockstep differential checker. It reports halted=true on a
+// clean program halt.
+func (m *Machine) StepGroup() (halted bool, err error) {
+	if err := m.checkBudget(); err != nil {
+		return false, err
+	}
+	halt, err := m.runGroup()
+	m.Exec.RF.ToState(&m.St)
+	if errors.Is(err, errHaltFromInterp) {
+		return true, nil
+	}
+	return halt, err
+}
+
 func (m *Machine) checkBudget() error {
-	if m.maxInsts > 0 && m.Stats.BaseInsts() > m.maxInsts {
+	if m.maxInsts > 0 && m.Stats.BaseInsts() >= m.maxInsts {
 		return fmt.Errorf("%w (pc %#x)", ErrBudget, m.St.PC)
 	}
 	return nil
@@ -266,6 +328,9 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 	}
 	m.Stats.PagesBuilt++
 	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before
+	if m.OnTranslate != nil {
+		m.OnTranslate(pt)
+	}
 	m.pages[base] = pt
 	m.touch(base)
 	// Protect the page so stores into it raise the code-modification
@@ -275,23 +340,17 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 	return pt, nil
 }
 
-func (m *Machine) touch(base uint32) {
-	for i, b := range m.lru {
-		if b == base {
-			m.lru = append(m.lru[:i], m.lru[i+1:]...)
-			break
-		}
-	}
-	m.lru = append(m.lru, base)
-}
+func (m *Machine) touch(base uint32) { m.lru.touch(base) }
 
 func (m *Machine) castOut() {
 	if m.Opt.MaxPages <= 0 {
 		return
 	}
 	for len(m.pages) > m.Opt.MaxPages {
-		victim := m.lru[0]
-		m.lru = m.lru[1:]
+		victim, ok := m.lru.victim()
+		if !ok {
+			return
+		}
 		m.invalidate(victim)
 		m.Stats.CastOuts++
 	}
@@ -303,14 +362,39 @@ func (m *Machine) invalidate(base uint32) {
 		return
 	}
 	delete(m.pages, base)
-	for i, b := range m.lru {
-		if b == base {
-			m.lru = append(m.lru[:i], m.lru[i+1:]...)
-			break
-		}
-	}
+	m.lru.remove(base)
 	m.Mem.SetReadOnly(base, false)
 }
+
+// InvalidatePage destroys the translation of the page containing addr, if
+// any (exported for the chaos harness's cast-out churn injector; a real
+// VMM would do this on a TLB or page-table invalidation from the guest).
+func (m *Machine) InvalidatePage(addr uint32) {
+	m.invalidate(addr &^ (m.Trans.Opt.PageSize - 1))
+}
+
+// InjectSMC marks the page containing addr as modified, exactly as a
+// guest store into protected code would: its translation is invalidated
+// at the next precise boundary. Spurious events are harmless — that is
+// the §3.2 safety property the chaos SMC-storm injector exercises.
+func (m *Machine) InjectSMC(addr uint32) {
+	m.dirty[addr&^(m.Trans.Opt.PageSize-1)] = true
+}
+
+// TranslatedPages returns the bases of currently translated pages in
+// ascending order (deterministic, for seeded injectors and inspection).
+func (m *Machine) TranslatedPages() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for b := range m.pages {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CurrentGroup returns the translated group most recently entered (nil
+// before any translated execution), for divergence reporting.
+func (m *Machine) CurrentGroup() *vliw.Group { return m.curGroup }
 
 // groupAt resolves the base address to a translated group, servicing
 // missing-translation and invalid-entry exceptions on the way.
@@ -339,6 +423,9 @@ func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
 	}
 	m.Stats.EntriesBuilt++
 	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before
+	if m.OnTranslate != nil {
+		m.OnTranslate(pt)
+	}
 	return g, nil
 }
 
@@ -379,7 +466,16 @@ func (m *Machine) recordTrace(entry uint32) func(pc uint32) (bool, bool) {
 // leaves the current page, a system call is serviced, or the program
 // halts. It returns halt=true on SysHalt.
 func (m *Machine) runGroup() (bool, error) {
+	if m.OnGroupStart != nil {
+		m.OnGroupStart(m.St.PC)
+	}
 	m.drainDirty()
+	if m.pageQuarantined(m.St.PC) {
+		// Graceful degradation: the page keeps invalidating or faulting
+		// its translations, so run it interpretively until the backoff
+		// expires instead of translating it yet again.
+		return false, m.interpret()
+	}
 	g, err := m.groupAt(m.St.PC)
 	if err != nil {
 		return false, err
@@ -405,6 +501,13 @@ func (m *Machine) runGroup() (bool, error) {
 		// translated store into protected code rolls back instead), but
 		// drain defensively at this precise boundary.
 		smcHit := m.drainDirty()
+
+		// A committed VLIW is a precise architected boundary (precise
+		// mode only). Syscall exits defer the callback until the service
+		// routine has run, so the observed state includes its effects.
+		if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions && exit.Kind != vliw.ExitSyscall {
+			m.OnBoundary(m.Stats.BaseInsts())
+		}
 
 		switch exit.Kind {
 		case vliw.ExitNext:
@@ -478,6 +581,9 @@ func (m *Machine) runGroup() (bool, error) {
 			}
 			m.Exec.RF.FromState(&m.St)
 			m.Exec.ClearSpec()
+			if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions {
+				m.OnBoundary(m.Stats.BaseInsts())
+			}
 			return false, nil
 
 		case vliw.ExitInterp:
@@ -531,8 +637,10 @@ func (m *Machine) recover(f *vliw.Fault) (bool, error) {
 	} else if f.Alias {
 		m.Stats.AliasRecoveries++
 		m.noteAlias()
+		m.noteGroupTrouble()
 	} else {
 		m.Stats.Exceptions++
+		m.noteGroupTrouble()
 		if m.OnFault != nil {
 			scanPC, _ := m.ScanFault(f)
 			m.OnFault(f, scanPC)
@@ -540,6 +648,14 @@ func (m *Machine) recover(f *vliw.Fault) (bool, error) {
 	}
 	m.St.PC = f.Resume
 	return false, m.interpret()
+}
+
+// noteGroupTrouble charges a recovery event against the current group's
+// page for the quarantine policy.
+func (m *Machine) noteGroupTrouble() {
+	if m.curGroup != nil {
+		m.noteTrouble(m.curGroup.Entry &^ (m.Trans.Opt.PageSize - 1))
+	}
 }
 
 // aliasRetranslateThreshold is how many alias recoveries one group entry
@@ -618,6 +734,7 @@ func (m *Machine) drainDirty() bool {
 	for b := range m.dirty {
 		m.invalidate(b)
 		m.Stats.SMCInvalidations++
+		m.noteTrouble(b)
 		delete(m.dirty, b)
 	}
 	return true

@@ -1,0 +1,100 @@
+package vmm
+
+// This file implements the VMM's graceful-degradation policy. DAISY's
+// recovery paths — SMC invalidation (§3.2), alias re-execution and
+// precise-exception rollback (§3.5) — are each individually cheap, but a
+// page that keeps tripping them (self-modifying code rewritten every
+// iteration, pathological aliasing, a hot page fighting a tiny translation
+// pool) makes the VMM thrash: translate, fault, invalidate, retranslate,
+// forever. Translation is the expensive step, so past a threshold the
+// honest move is to stop translating the page and interpret it — the
+// architected semantics are identical, only slower — and retry translation
+// later with exponential backoff.
+//
+// Time is measured in completed base instructions (Stats.BaseInsts()),
+// the only clock the machine has that is deterministic across runs.
+
+// quarState tracks translation trouble for one page.
+type quarState struct {
+	events  []uint64 // completion-time stamps of recent trouble events
+	until   uint64   // interpret-only while BaseInsts() < until (0 = free)
+	backoff uint64   // current backoff span; doubles on each re-engage
+}
+
+// noteTrouble records one translation-trouble event (an SMC invalidation,
+// an alias recovery, or a recovered exception) against the page at base.
+// When QuarantineThreshold events land within QuarantineWindow completed
+// instructions, the page is quarantined: its translation is invalidated
+// and groupAt is bypassed in favor of the interpreter until the backoff
+// expires.
+func (m *Machine) noteTrouble(base uint32) {
+	if m.Opt.QuarantineThreshold <= 0 {
+		return
+	}
+	q := m.quar[base]
+	if q == nil {
+		q = &quarState{}
+		m.quar[base] = q
+	}
+	if q.until != 0 {
+		return // already quarantined
+	}
+	now := m.Stats.BaseInsts()
+	q.events = append(q.events, now)
+	// Drop events that have aged out of the window.
+	cut := uint64(0)
+	if now > m.Opt.QuarantineWindow {
+		cut = now - m.Opt.QuarantineWindow
+	}
+	keep := q.events[:0]
+	for _, e := range q.events {
+		if e >= cut {
+			keep = append(keep, e)
+		}
+	}
+	q.events = keep
+	if len(q.events) < m.Opt.QuarantineThreshold {
+		return
+	}
+	if q.backoff == 0 {
+		q.backoff = m.Opt.QuarantineBackoff
+	} else {
+		q.backoff *= 2
+	}
+	q.until = now + q.backoff
+	q.events = q.events[:0]
+	m.Stats.Quarantines++
+	m.invalidate(base)
+}
+
+// pageQuarantined reports whether the page holding addr is currently in
+// interpret-only quarantine, releasing it when its backoff has expired.
+func (m *Machine) pageQuarantined(addr uint32) bool {
+	if len(m.quar) == 0 {
+		return false
+	}
+	base := addr &^ (m.Trans.Opt.PageSize - 1)
+	q := m.quar[base]
+	if q == nil || q.until == 0 {
+		return false
+	}
+	if m.Stats.BaseInsts() >= q.until {
+		q.until = 0
+		m.Stats.QuarantineReleases++
+		return false
+	}
+	return true
+}
+
+// QuarantinedPages returns the page bases currently in interpret-only
+// quarantine (for observability; order unspecified).
+func (m *Machine) QuarantinedPages() []uint32 {
+	var out []uint32
+	now := m.Stats.BaseInsts()
+	for base, q := range m.quar {
+		if q.until != 0 && now < q.until {
+			out = append(out, base)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+
+	"daisy/internal/asm"
+	"daisy/internal/interp"
+	"daisy/internal/mem"
+)
+
+// TestBudgetExactBoundary pins Run's budget semantics: the budget is the
+// number of completed base instructions the machine may reach, not
+// exceed. An earlier version compared with > and let an extra group
+// start at exactly maxInsts.
+func TestBudgetExactBoundary(t *testing.T) {
+	// White-box: at exactly the budget the next group must not start.
+	m := New(mem.New(1<<16), &interp.Env{}, DefaultOptions())
+	m.maxInsts = 10
+	m.Stats.InterpInsts = 10
+	if err := m.checkBudget(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("checkBudget at budget = %v, want ErrBudget", err)
+	}
+	m.Stats.InterpInsts = 9
+	if err := m.checkBudget(); err != nil {
+		t.Fatalf("checkBudget below budget = %v, want nil", err)
+	}
+
+	// End to end: an infinite loop must stop with ErrBudget at (or within
+	// one committed VLIW of) the budget, never run away past it.
+	prog, err := asm.Assemble("_start:\taddi r1, r1, 1\n\tb _start\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.New(1 << 16)
+	_ = prog.Load(mm)
+	ma := New(mm, &interp.Env{}, DefaultOptions())
+	const budget = 100
+	if err := ma.Run(prog.Entry(), budget); !errors.Is(err, ErrBudget) {
+		t.Fatalf("infinite loop: %v, want ErrBudget", err)
+	}
+	got := ma.Stats.BaseInsts()
+	if got < budget || got > budget+8 {
+		t.Fatalf("stopped at %d insts, want within one VLIW of %d", got, budget)
+	}
+
+	// A program that halts at exactly the budget must halt cleanly, not
+	// report exhaustion.
+	prog2, err := asm.Assemble("_start:\tli r1, 7\n\tli r0, 0\n\tsc\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func() uint64 {
+		m := mem.New(1 << 16)
+		_ = prog2.Load(m)
+		ip := interp.New(m, &interp.Env{}, prog2.Entry())
+		if err := ip.Run(0); !errors.Is(err, interp.ErrHalt) {
+			t.Fatalf("interp: %v", err)
+		}
+		return ip.InstCount
+	}()
+	mm2 := mem.New(1 << 16)
+	_ = prog2.Load(mm2)
+	ma2 := New(mm2, &interp.Env{}, DefaultOptions())
+	if err := ma2.Run(prog2.Entry(), count); err != nil {
+		t.Fatalf("halting program with exact budget %d: %v", count, err)
+	}
+}
+
+// TestPageLRU pins the order semantics of the O(1) recency list that
+// replaced the VMM's linear page slice.
+func TestPageLRU(t *testing.T) {
+	l := newPageLRU()
+	if _, ok := l.victim(); ok {
+		t.Fatal("empty LRU has a victim")
+	}
+	l.touch(1)
+	l.touch(2)
+	l.touch(3)
+	if v, ok := l.victim(); !ok || v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+	l.touch(1) // 1 becomes most recent; 2 is now LRU
+	if v, _ := l.victim(); v != 2 {
+		t.Fatalf("victim after touch(1) = %d, want 2", v)
+	}
+	l.remove(2)
+	if v, _ := l.victim(); v != 3 {
+		t.Fatalf("victim after remove(2) = %d, want 3", v)
+	}
+	l.remove(2) // removing an absent base is a no-op
+	if l.len() != 2 {
+		t.Fatalf("len = %d, want 2", l.len())
+	}
+	l.remove(3)
+	l.remove(1)
+	if _, ok := l.victim(); ok || l.len() != 0 {
+		t.Fatal("LRU not empty after removing everything")
+	}
+}
+
+// TestQuarantineBackoff drives the graceful-degradation policy directly:
+// enough trouble events within the window engage the quarantine, the
+// backoff releases it, and a re-engagement doubles the span.
+func TestQuarantineBackoff(t *testing.T) {
+	opt := DefaultOptions()
+	opt.QuarantineThreshold = 3
+	opt.QuarantineWindow = 1000
+	opt.QuarantineBackoff = 100
+	m := New(mem.New(1<<16), &interp.Env{}, opt)
+
+	const page = 0x3000
+	m.noteTrouble(page)
+	m.noteTrouble(page)
+	if m.pageQuarantined(page) {
+		t.Fatal("quarantined below threshold")
+	}
+	m.noteTrouble(page)
+	if !m.pageQuarantined(page) {
+		t.Fatal("not quarantined at threshold")
+	}
+	if m.Stats.Quarantines != 1 {
+		t.Fatalf("Quarantines = %d, want 1", m.Stats.Quarantines)
+	}
+	if got := m.QuarantinedPages(); len(got) != 1 || got[0] != page {
+		t.Fatalf("QuarantinedPages = %v", got)
+	}
+
+	// Advance the clock past the backoff: the page is released.
+	m.Stats.InterpInsts += opt.QuarantineBackoff + 1
+	if m.pageQuarantined(page) {
+		t.Fatal("still quarantined after backoff expired")
+	}
+	if m.Stats.QuarantineReleases != 1 {
+		t.Fatalf("QuarantineReleases = %d, want 1", m.Stats.QuarantineReleases)
+	}
+
+	// Re-engage: the backoff doubles.
+	m.noteTrouble(page)
+	m.noteTrouble(page)
+	m.noteTrouble(page)
+	if !m.pageQuarantined(page) {
+		t.Fatal("not re-quarantined")
+	}
+	m.Stats.InterpInsts += opt.QuarantineBackoff + 1 // old span: not enough now
+	if !m.pageQuarantined(page) {
+		t.Fatal("doubled backoff released after the original span")
+	}
+	m.Stats.InterpInsts += opt.QuarantineBackoff + 1
+	if m.pageQuarantined(page) {
+		t.Fatal("still quarantined after doubled backoff expired")
+	}
+
+	// Events outside the window do not accumulate.
+	other := uint32(0x5000)
+	m.noteTrouble(other)
+	m.Stats.InterpInsts += opt.QuarantineWindow + 1
+	m.noteTrouble(other)
+	m.Stats.InterpInsts += opt.QuarantineWindow + 1
+	m.noteTrouble(other)
+	if m.pageQuarantined(other) {
+		t.Fatal("stale events engaged a quarantine")
+	}
+}
+
+// TestSMCThrashWithCastOut is the pathological interplay case: a loop on
+// one page repeatedly patches code on another page while the translated
+// page pool holds just one page, so every iteration both casts out a
+// translation and invalidates the patched one. The machine must (a)
+// never execute a stale group — the accumulated result proves it — and
+// (b) degrade the thrashing page to interpret-only quarantine instead of
+// retranslating it forever, then release it again.
+func TestSMCThrashWithCastOut(t *testing.T) {
+	src := `
+_start:	li r31, 0
+	li r30, 30        # call the self-patching function 30 times
+again:	bl dopatch
+	subi r30, r30, 1
+	cmpwi r30, 0
+	bgt again
+	li r0, 0
+	sc
+
+	.org 0x12000      # a different 4K translation page
+dopatch:
+	lis r5, patch@ha
+	addi r5, r5, patch@l
+	lwz r6, 0(r5)     # current instruction word
+	addi r6, r6, 1    # bump the addi immediate
+	stw r6, 0(r5)     # self-modify this very page while it executes
+patch:	addi r31, r31, 100   # immediate grows 101, 102, ...
+	blr
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1 := mem.New(1 << 20)
+	_ = prog.Load(m1)
+	ip := interp.New(m1, &interp.Env{}, prog.Entry())
+	if err := ip.Run(0); !errors.Is(err, interp.ErrHalt) {
+		t.Fatalf("interp: %v", err)
+	}
+
+	opt := DefaultOptions()
+	opt.MaxPages = 1
+	opt.QuarantineThreshold = 3
+	opt.QuarantineWindow = 10_000
+	opt.QuarantineBackoff = 50
+	m2 := mem.New(1 << 20)
+	_ = prog.Load(m2)
+	ma := New(m2, &interp.Env{}, opt)
+	if err := ma.Run(prog.Entry(), 0); err != nil {
+		t.Fatalf("vmm: %v", err)
+	}
+
+	// Oracle: sum of 101..130.
+	const want = 30*100 + 30*31/2
+	if ip.St.GPR[31] != want {
+		t.Fatalf("interp r31 = %d, want %d", ip.St.GPR[31], want)
+	}
+	if ma.St.GPR[31] != want {
+		t.Fatalf("vmm r31 = %d, want %d (stale translation executed?)", ma.St.GPR[31], want)
+	}
+	if !m1.EqualData(m2) {
+		t.Fatal("memory images differ")
+	}
+	if got, w := ma.Stats.BaseInsts(), ip.InstCount; got != w {
+		t.Fatalf("instruction counts differ: vmm=%d interp=%d", got, w)
+	}
+	if ma.Stats.CastOuts == 0 {
+		t.Fatal("expected cast-outs with MaxPages=1")
+	}
+	if ma.Stats.SMCInvalidations == 0 {
+		t.Fatal("expected code-modification invalidations")
+	}
+	if ma.Stats.Quarantines == 0 {
+		t.Fatal("thrashing page never quarantined")
+	}
+	if ma.Stats.QuarantineReleases == 0 {
+		t.Fatal("quarantine never released")
+	}
+}
