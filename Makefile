@@ -1,6 +1,7 @@
 GO ?= go
+DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race chaos-smoke ci bench experiments
+.PHONY: all build test vet race race-hot chaos-smoke bench-smoke ci bench benchcmp experiments
 
 all: build
 
@@ -16,15 +17,33 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The hot-path packages under the race detector: the parallel experiment
+# runner and the chaos harness are the two places goroutines touch shared
+# machinery, so they get an explicit -race pass in CI.
+race-hot:
+	$(GO) test -race ./internal/chaos/... ./internal/experiments/...
+
 # Short deterministic chaos pass: every workload under every injector,
 # fixed seeds, so CI failures are replayable with the printed triple.
 chaos-smoke:
 	$(GO) run ./cmd/daisy-chaos -seed 1 -seeds 2
 
-ci: vet build race chaos-smoke
+# Compile and exercise the perf-path benchmarks once so a regression that
+# breaks them is caught in CI, not at the next perf investigation.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=ExecutorThroughput -benchtime=1x .
 
+ci: vet build race race-hot chaos-smoke bench-smoke
+
+# Run the full benchmark suite once and archive the parsed metrics as a
+# dated JSON snapshot — the repository's perf trajectory. Compare two
+# snapshots with `make benchcmp A=BENCH_old.json B=BENCH_new.json`.
 bench:
-	$(GO) test -bench=. -benchtime=1x
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/daisy-bench -json > BENCH_$(DATE).json
+	@echo "wrote BENCH_$(DATE).json"
+
+benchcmp:
+	$(GO) run ./cmd/daisy-bench -diff $(A) $(B)
 
 experiments:
 	$(GO) run ./cmd/daisy-experiments

@@ -1,0 +1,171 @@
+// daisy-bench parses `go test -bench` output into a stable JSON form and
+// diffs two such files, seeding the repository's performance trajectory:
+// every `make bench` writes a dated BENCH_<date>.json snapshot and
+// `make benchcmp A=old B=new` reports the deltas.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem | daisy-bench -json
+//	daisy-bench -diff BENCH_2026-08-01.json BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: the standard ns/op, B/op and
+// allocs/op plus every custom metric attached with b.ReportMetric.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		asJSON = flag.Bool("json", false, "parse benchmark output on stdin to JSON on stdout")
+		diff   = flag.Bool("diff", false, "diff two BENCH_*.json files (args: old new)")
+	)
+	flag.Parse()
+	switch {
+	case *asJSON:
+		if err := parseToJSON(); err != nil {
+			fatal(err)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg()))
+		}
+		if err := diffFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daisy-bench:", err)
+	os.Exit(1)
+}
+
+// parseToJSON reads `go test -bench` output and emits a sorted JSON array,
+// echoing the raw input to stderr so a piped `make bench` still shows the
+// live benchmark progress.
+func parseToJSON() error {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   1   123456 ns/op   3.14 some-metric   456 B/op   7 allocs/op
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+func load(path string) (map[string]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// diffFiles prints, for every benchmark and metric present in both files,
+// old, new and the percent change (negative is an improvement for cost
+// metrics like ns/op and allocs/op).
+func diffFiles(oldPath, newPath string) error {
+	oldR, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for n := range oldR {
+		if _, ok := newR[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-44s %-16s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta%")
+	for _, n := range names {
+		o, nw := oldR[n], newR[n]
+		var metrics []string
+		for m := range o.Metrics {
+			if _, ok := nw.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov, nv := o.Metrics[m], nw.Metrics[m]
+			var delta string
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			} else if nv == 0 {
+				delta = "0.0%"
+			} else {
+				delta = "new"
+			}
+			fmt.Printf("%-44s %-16s %14.4g %14.4g %9s\n", n, m, ov, nv, delta)
+		}
+	}
+	return nil
+}

@@ -41,6 +41,15 @@ func run(scale int, only string) error {
 	}
 	want := func(id string) bool { return len(sel) == 0 || sel[id] }
 
+	// Full-suite runs warm the runner's memo cache across all cores
+	// first; table generation then replays the cached measurements in
+	// order, so the output is bit-identical to a serial run.
+	if len(sel) == 0 {
+		if err := r.MeasureAll(experiments.SuiteRequests()); err != nil {
+			return err
+		}
+	}
+
 	type exp struct {
 		id string
 		fn func() (*stats.Table, error)

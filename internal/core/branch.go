@@ -153,9 +153,11 @@ func (c *groupCtx) scheduleBranch(p *path, addr uint32, in ppc.Inst) error {
 
 	// Split the tree (AddIfToTreePath) and clone the path.
 	tip := p.lastPV().tip
-	tip.Cond = &vliw.Cond{CRF: fieldName, Bit: cond.bit, Sense: cond.sense}
-	takenNode := &vliw.Node{Ops: []vliw.Parcel{{Op: vliw.PNop, EndsInst: true, BaseAddr: addr}}}
-	fallNode := &vliw.Node{Ops: []vliw.Parcel{{Op: vliw.PNop, EndsInst: true, BaseAddr: addr}}}
+	tip.Cond = c.newCond(vliw.Cond{CRF: fieldName, Bit: cond.bit, Sense: cond.sense})
+	takenNode := c.newNode()
+	takenNode.Ops = append(takenNode.Ops, vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr})
+	fallNode := c.newNode()
+	fallNode.Ops = append(fallNode.Ops, vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr})
 	tip.Taken = takenNode
 	tip.Fall = fallNode
 

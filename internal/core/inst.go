@@ -5,6 +5,33 @@ import (
 	"daisy/internal/vliw"
 )
 
+// Opcode→primitive tables, hoisted to package scope so the cracking
+// paths don't rebuild map literals on every instruction.
+var (
+	primDLogic = map[ppc.Opcode]vliw.Prim{
+		ppc.OpOri: vliw.POrI, ppc.OpOris: vliw.POrIS,
+		ppc.OpXori: vliw.PXorI, ppc.OpXoris: vliw.PXorIS,
+	}
+	primUnary = map[ppc.Opcode]vliw.Prim{
+		ppc.OpCntlzw: vliw.PCntlzw, ppc.OpExtsb: vliw.PExtsb, ppc.OpExtsh: vliw.PExtsh,
+	}
+	primArith = map[ppc.Opcode]vliw.Prim{
+		ppc.OpAdd: vliw.PAdd, ppc.OpAddc: vliw.PAddC, ppc.OpAdde: vliw.PAddE,
+		ppc.OpSubf: vliw.PSubf, ppc.OpSubfc: vliw.PSubfC, ppc.OpSubfe: vliw.PSubfE,
+		ppc.OpMullw: vliw.PMullw, ppc.OpMulhwu: vliw.PMulhwu,
+		ppc.OpDivw: vliw.PDivw, ppc.OpDivwu: vliw.PDivwu,
+	}
+	primLogic = map[ppc.Opcode]vliw.Prim{
+		ppc.OpAnd: vliw.PAnd, ppc.OpAndc: vliw.PAndc, ppc.OpOr: vliw.POr,
+		ppc.OpNor: vliw.PNor, ppc.OpXor: vliw.PXor, ppc.OpNand: vliw.PNand,
+		ppc.OpSlw: vliw.PSlw, ppc.OpSrw: vliw.PSrw, ppc.OpSraw: vliw.PSraw,
+	}
+	primCrLogic = map[ppc.Opcode]vliw.Prim{
+		ppc.OpCrand: vliw.PCrand, ppc.OpCror: vliw.PCror, ppc.OpCrxor: vliw.PCrxor,
+		ppc.OpCrnand: vliw.PCrnand, ppc.OpCrnor: vliw.PCrnor,
+	}
+)
+
 // scheduleInst cracks one base instruction into RISC primitives and places
 // them (DecodeAndScheduleOneInstr's dispatch, Figure A.2). On return the
 // path either has a new continuation or has been closed.
@@ -107,10 +134,7 @@ func (c *groupCtx) scheduleInst(p *path, addr uint32, in ppc.Inst) error {
 		p.placeCommits([]*vliw.Parcel{cm}, ready, addr)
 
 	case ppc.OpOri, ppc.OpOris, ppc.OpXori, ppc.OpXoris:
-		prim := map[ppc.Opcode]vliw.Prim{
-			ppc.OpOri: vliw.POrI, ppc.OpOris: vliw.POrIS,
-			ppc.OpXori: vliw.PXorI, ppc.OpXoris: vliw.PXorIS,
-		}[in.Op]
+		prim := primDLogic[in.Op]
 		src := uint8(in.RT) // logical D-forms: source in RT, dest in RA
 		dst := uint8(in.RA)
 		kc := p.gprConst[src]
@@ -161,9 +185,7 @@ func (c *groupCtx) scheduleInst(p *path, addr uint32, in ppc.Inst) error {
 		if in.Rc {
 			return c.scheduleRecorded(p, addr, in, false)
 		}
-		prim := map[ppc.Opcode]vliw.Prim{
-			ppc.OpCntlzw: vliw.PCntlzw, ppc.OpExtsb: vliw.PExtsb, ppc.OpExtsh: vliw.PExtsh,
-		}[in.Op]
+		prim := primUnary[in.Op]
 		c.simpleGPR(p, addr, uint8(in.RA), p.availGPR(uint8(in.RT)), false,
 			func(i int, d vliw.RegRef) vliw.Parcel {
 				return vliw.Parcel{Op: prim, D: d, A: p.nameOfGPR(uint8(in.RT), i)}
@@ -278,12 +300,7 @@ func (p *path) setConst(r uint8, v uint32) {
 
 // scheduleArith handles XO-form arithmetic (destination in RT).
 func (c *groupCtx) scheduleArith(p *path, addr uint32, in ppc.Inst) {
-	prim := map[ppc.Opcode]vliw.Prim{
-		ppc.OpAdd: vliw.PAdd, ppc.OpAddc: vliw.PAddC, ppc.OpAdde: vliw.PAddE,
-		ppc.OpSubf: vliw.PSubf, ppc.OpSubfc: vliw.PSubfC, ppc.OpSubfe: vliw.PSubfE,
-		ppc.OpMullw: vliw.PMullw, ppc.OpMulhwu: vliw.PMulhwu,
-		ppc.OpDivw: vliw.PDivw, ppc.OpDivwu: vliw.PDivwu,
-	}[in.Op]
+	prim := primArith[in.Op]
 	carry := false
 	earliest := max(p.availGPR(uint8(in.RA)), p.availGPR(uint8(in.RB)))
 	switch in.Op {
@@ -305,11 +322,7 @@ func (c *groupCtx) scheduleArith(p *path, addr uint32, in ppc.Inst) {
 // scheduleLogic handles X-form logicals and shifts (destination in RA,
 // source in RT).
 func (c *groupCtx) scheduleLogic(p *path, addr uint32, in ppc.Inst) {
-	prim := map[ppc.Opcode]vliw.Prim{
-		ppc.OpAnd: vliw.PAnd, ppc.OpAndc: vliw.PAndc, ppc.OpOr: vliw.POr,
-		ppc.OpNor: vliw.PNor, ppc.OpXor: vliw.PXor, ppc.OpNand: vliw.PNand,
-		ppc.OpSlw: vliw.PSlw, ppc.OpSrw: vliw.PSrw, ppc.OpSraw: vliw.PSraw,
-	}[in.Op]
+	prim := primLogic[in.Op]
 	carry := in.Op == ppc.OpSraw
 	earliest := max(p.availGPR(uint8(in.RT)), p.availGPR(uint8(in.RB)))
 	c.simpleGPR(p, addr, uint8(in.RA), earliest, carry,
@@ -350,12 +363,7 @@ func (c *groupCtx) scheduleRecorded(p *path, addr uint32, in ppc.Inst, carry boo
 		}
 	case ppc.OpAdd, ppc.OpAddc, ppc.OpAdde, ppc.OpSubf, ppc.OpSubfc, ppc.OpSubfe,
 		ppc.OpMullw, ppc.OpMulhwu, ppc.OpDivw, ppc.OpDivwu:
-		prim := map[ppc.Opcode]vliw.Prim{
-			ppc.OpAdd: vliw.PAdd, ppc.OpAddc: vliw.PAddC, ppc.OpAdde: vliw.PAddE,
-			ppc.OpSubf: vliw.PSubf, ppc.OpSubfc: vliw.PSubfC, ppc.OpSubfe: vliw.PSubfE,
-			ppc.OpMullw: vliw.PMullw, ppc.OpMulhwu: vliw.PMulhwu,
-			ppc.OpDivw: vliw.PDivw, ppc.OpDivwu: vliw.PDivwu,
-		}[in.Op]
+		prim := primArith[in.Op]
 		dest = uint8(in.RT)
 		earliest = max(p.availGPR(uint8(in.RA)), p.availGPR(uint8(in.RB)))
 		switch in.Op {
@@ -399,12 +407,10 @@ func (c *groupCtx) scheduleRecorded(p *path, addr uint32, in ppc.Inst, carry boo
 			return par
 		}
 	default:
-		prim := map[ppc.Opcode]vliw.Prim{
-			ppc.OpAnd: vliw.PAnd, ppc.OpAndc: vliw.PAndc, ppc.OpOr: vliw.POr,
-			ppc.OpNor: vliw.PNor, ppc.OpXor: vliw.PXor, ppc.OpNand: vliw.PNand,
-			ppc.OpSlw: vliw.PSlw, ppc.OpSrw: vliw.PSrw, ppc.OpSraw: vliw.PSraw,
-			ppc.OpCntlzw: vliw.PCntlzw, ppc.OpExtsb: vliw.PExtsb, ppc.OpExtsh: vliw.PExtsh,
-		}[in.Op]
+		prim, ok := primLogic[in.Op]
+		if !ok {
+			prim = primUnary[in.Op]
+		}
 		carry = in.Op == ppc.OpSraw
 		dest = uint8(in.RA)
 		earliest = p.availGPR(uint8(in.RT))
@@ -442,10 +448,7 @@ func (c *groupCtx) scheduleRecorded(p *path, addr uint32, in ppc.Inst, carry boo
 // scheduleCrLogic places a condition-register bit operation. The
 // destination field is read-modify-write, so it is a source as well.
 func (c *groupCtx) scheduleCrLogic(p *path, addr uint32, in ppc.Inst) {
-	prim := map[ppc.Opcode]vliw.Prim{
-		ppc.OpCrand: vliw.PCrand, ppc.OpCror: vliw.PCror, ppc.OpCrxor: vliw.PCrxor,
-		ppc.OpCrnand: vliw.PCrnand, ppc.OpCrnor: vliw.PCrnor,
-	}[in.Op]
+	prim := primCrLogic[in.Op]
 	fd, bd := uint8(in.RT)/4, uint8(in.RT)%4
 	fa, ba := uint8(in.RA)/4, uint8(in.RA)%4
 	fb, bb := uint8(in.RB)/4, uint8(in.RB)%4

@@ -110,13 +110,41 @@ func (t *Translator) EnsureEntry(pt *PageTranslation, entry uint32) (*vliw.Group
 	return first, nil
 }
 
+// Unchain severs every group-chaining link recorded on the page's exit
+// edges. The VMM calls it whenever the page's translation is destroyed —
+// SMC invalidation, LRU cast-out, quarantine, adaptive retranslation — so
+// no chained edge can reach a discarded group. Chains are intra-page, so
+// walking only this page's groups is sufficient.
+func (pt *PageTranslation) Unchain() {
+	for _, g := range pt.Groups {
+		for _, v := range g.VLIWs {
+			v.Walk(func(n *vliw.Node) { n.Exit.Chain = nil })
+		}
+	}
+}
+
+// ChainCount reports the number of live chained exit edges on the page
+// (for tests and inspection).
+func (pt *PageTranslation) ChainCount() int {
+	c := 0
+	for _, g := range pt.Groups {
+		for _, v := range g.VLIWs {
+			v.Walk(func(n *vliw.Node) {
+				if n.Exit.Chain != nil {
+					c++
+				}
+			})
+		}
+	}
+	return c
+}
+
 // layout assigns translated-code-area addresses to the group's VLIWs: the
 // entry VLIW at offset entry*N (so cross-page branches can compute it),
 // subsequent VLIWs sequentially, spilling into the page's overflow area
 // when the fixed N-times window is exhausted (§3.4).
 func (t *Translator) layout(pt *PageTranslation, g *vliw.Group) {
-	enc, err := vliw.EncodeGroup(g)
-	size := len(enc)
+	size, err := t.encodedSize(g)
 	if err != nil {
 		size = 64 * len(g.VLIWs) // should not happen; keep accounting sane
 	}

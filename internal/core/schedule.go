@@ -85,7 +85,7 @@ func (p *path) lastPV() *pvliw { return &p.vs[len(p.vs)-1] }
 // new VLIW ever rolls back.
 func (p *path) openVLIW(entryBase uint32) {
 	c := p.c
-	v := vliw.NewVLIW(len(c.g.VLIWs), entryBase)
+	v := c.newVLIW(len(c.g.VLIWs), entryBase)
 	c.g.VLIWs = append(c.g.VLIWs, v)
 
 	pv := pvliw{v: v, tip: v.Root}
@@ -140,17 +140,22 @@ func (p *path) clone() *path {
 	q := *p
 	q.vs = append([]pvliw(nil), p.vs...)
 	q.scratch = append([]vliw.RegRef(nil), p.scratch...)
-	memo := make(map[*renameRec]*renameRec)
+	// Aliasing is preserved through a parallel-slice memo: the live rename
+	// set is small (a linear scan beats a map rebuilt on every clone).
+	c := p.c
+	memoOld, memoNew := c.memoOld[:0], c.memoNew[:0]
 	cp := func(r *renameRec) *renameRec {
 		if r == nil {
 			return nil
 		}
-		if n, ok := memo[r]; ok {
-			return n
+		for k, o := range memoOld {
+			if o == r {
+				return memoNew[k]
+			}
 		}
-		n := new(renameRec)
-		*n = *r
-		memo[r] = n
+		n := c.newRec(*r)
+		memoOld = append(memoOld, r)
+		memoNew = append(memoNew, n)
 		return n
 	}
 	for i := range q.vs {
@@ -162,6 +167,7 @@ func (p *path) clone() *path {
 		}
 		q.vs[i].ctr = cp(q.vs[i].ctr)
 	}
+	c.memoOld, c.memoNew = memoOld, memoNew
 	return &q
 }
 
@@ -359,14 +365,13 @@ func (p *path) renameGPR(dest uint8, earliest int, carry bool, mk mkParcel, addr
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted, ca: carry}
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ca: carry})
 		p.installGPRRename(dest, rec, v)
-		cp := &vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
-			CommitCA: carry, BaseAddr: addr}
 		if !p.c.t.Opt.PreciseExceptions {
 			return nil, v + 1, true // commit deferred to path close
 		}
-		return cp, v + 1, true
+		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
+			CommitCA: carry, BaseAddr: addr}), v + 1, true
 	}
 }
 
@@ -398,13 +403,12 @@ func (p *path) renameCR(dest uint8, earliest int, mk mkParcel, addr uint32) (com
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted}
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted})
 		p.installCRRename(dest, rec, v)
-		cp := &vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}
 		if !p.c.t.Opt.PreciseExceptions {
 			return nil, v + 1, true
 		}
-		return cp, v + 1, true
+		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}), v + 1, true
 	}
 }
 
@@ -437,16 +441,15 @@ func (p *path) renameCTR(earliest int, mk mkParcel, addr uint32) (commit *vliw.P
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted}
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted})
 		for j := v; j < len(p.vs); j++ {
 			p.vs[j].ctr = rec
 		}
 		p.ctrAvail = v + 1
-		cp := &vliw.Parcel{Op: vliw.PCopy, D: vliw.CTR, A: reg, BaseAddr: addr}
 		if !p.c.t.Opt.PreciseExceptions {
 			return nil, v + 1, true
 		}
-		return cp, v + 1, true
+		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.CTR, A: reg, BaseAddr: addr}), v + 1, true
 	}
 }
 
@@ -475,13 +478,13 @@ func (p *path) scheduleGPROp(dest uint8, earliest int, carry bool, mk mkParcel, 
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted, ca: carry}
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ca: carry})
 		p.installGPRRename(dest, rec, v)
 		if !t.Opt.PreciseExceptions {
 			return nil, v + 1
 		}
-		return &vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
-			CommitCA: carry, BaseAddr: addr}, v + 1
+		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
+			CommitCA: carry, BaseAddr: addr}), v + 1
 	}
 
 	// In order at the tail, writing the architected register directly.
@@ -524,12 +527,12 @@ func (p *path) scheduleCROp(dest uint8, earliest int, mk mkParcel, addr uint32) 
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted}
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted})
 		p.installCRRename(dest, rec, v)
 		if !t.Opt.PreciseExceptions {
 			return nil, v + 1
 		}
-		return &vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}, v + 1
+		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}), v + 1
 	}
 
 	p.ensureRoomALU(1, addr)
@@ -550,23 +553,28 @@ func (p *path) scheduleCROp(dest uint8, earliest int, mk mkParcel, addr uint32) 
 // boundary. ready is the index at which all commit sources are available.
 // The final parcel is tagged EndsInst.
 func (p *path) placeCommits(commits []*vliw.Parcel, ready int, addr uint32) {
-	var live []*vliw.Parcel
+	live := 0
 	for _, c := range commits {
 		if c != nil {
-			live = append(live, c)
+			live++
 		}
 	}
-	if len(live) == 0 {
+	if live == 0 {
 		if !p.c.t.Opt.PreciseExceptions {
 			p.emitNop(addr) // completion marker for ILP accounting
 		}
 		return
 	}
 	p.ensureIndex(ready, addr)
-	p.ensureRoomALU(len(live), addr)
+	p.ensureRoomALU(live, addr)
 	i := p.last()
-	for k, c := range live {
-		c.EndsInst = k == len(live)-1
+	k := 0
+	for _, c := range commits {
+		if c == nil {
+			continue
+		}
+		k++
+		c.EndsInst = k == live
 		p.emit(i, *c)
 		p.recordCommit(c, i)
 	}

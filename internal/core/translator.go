@@ -123,6 +123,18 @@ type Translator struct {
 	Opt Options
 
 	Stats Stats
+
+	encBuf []byte // reused encoding buffer for size accounting
+}
+
+// encodedSize returns the encoded size of g in bytes, reusing the
+// translator's scratch buffer across calls.
+func (t *Translator) encodedSize(g *vliw.Group) (int, error) {
+	buf, err := vliw.AppendGroup(t.encBuf[:0], g)
+	if buf != nil {
+		t.encBuf = buf
+	}
+	return len(buf), err
 }
 
 // New returns a translator over the given memory image.
@@ -152,6 +164,85 @@ type groupCtx struct {
 	loopHead map[uint32]bool
 	worklist []uint32 // same-page entry points discovered at path exits
 	wlSeen   map[uint32]bool
+
+	// Arena storage. The scheduler allocates small linked records —
+	// rename records, deferred commit parcels, tree nodes — at a rate
+	// that dominates the translator's heap traffic, so they are carved
+	// out of chunks owned by the group context. Chunks are never grown
+	// in place: when one fills, a fresh chunk is started, so pointers
+	// into earlier chunks stay valid while the records keep being
+	// mutated through them.
+	recChunk  []renameRec
+	parChunk  []vliw.Parcel // deferred commit parcels
+	nodeChunk []vliw.Node
+	vliwChunk []vliw.VLIW
+	condChunk []vliw.Cond
+	opsChunk  []vliw.Parcel // initial Ops backing for tree nodes
+
+	memoOld []*renameRec // clone's rename-aliasing scratch
+	memoNew []*renameRec
+}
+
+func (c *groupCtx) newRec(r renameRec) *renameRec {
+	if len(c.recChunk) == cap(c.recChunk) {
+		c.recChunk = make([]renameRec, 0, 128)
+	}
+	c.recChunk = append(c.recChunk, r)
+	return &c.recChunk[len(c.recChunk)-1]
+}
+
+func (c *groupCtx) newCommit(par vliw.Parcel) *vliw.Parcel {
+	if len(c.parChunk) == cap(c.parChunk) {
+		c.parChunk = make([]vliw.Parcel, 0, 128)
+	}
+	c.parChunk = append(c.parChunk, par)
+	return &c.parChunk[len(c.parChunk)-1]
+}
+
+func (c *groupCtx) newNode() *vliw.Node {
+	if len(c.nodeChunk) == cap(c.nodeChunk) {
+		c.nodeChunk = make([]vliw.Node, 0, 64)
+	}
+	c.nodeChunk = append(c.nodeChunk, vliw.Node{})
+	n := &c.nodeChunk[len(c.nodeChunk)-1]
+	n.Ops = c.newOps()
+	return n
+}
+
+func (c *groupCtx) newCond(cd vliw.Cond) *vliw.Cond {
+	if len(c.condChunk) == cap(c.condChunk) {
+		c.condChunk = make([]vliw.Cond, 0, 32)
+	}
+	c.condChunk = append(c.condChunk, cd)
+	return &c.condChunk[len(c.condChunk)-1]
+}
+
+// newOps returns an empty parcel slice with a small fixed capacity carved
+// from the ops chunk. Nodes that outgrow it fall back to an ordinary heap
+// append; most never do.
+func (c *groupCtx) newOps() []vliw.Parcel {
+	const opsCap = 8
+	if cap(c.opsChunk)-len(c.opsChunk) < opsCap {
+		c.opsChunk = make([]vliw.Parcel, 0, 64*opsCap)
+	}
+	n := len(c.opsChunk)
+	c.opsChunk = c.opsChunk[:n+opsCap]
+	return c.opsChunk[n:n : n+opsCap]
+}
+
+// newVLIW is vliw.NewVLIW backed by the group arena.
+func (c *groupCtx) newVLIW(id int, entryBase uint32) *vliw.VLIW {
+	if len(c.vliwChunk) == cap(c.vliwChunk) {
+		c.vliwChunk = make([]vliw.VLIW, 0, 64)
+	}
+	c.vliwChunk = append(c.vliwChunk, vliw.VLIW{
+		ID:        id,
+		Root:      c.newNode(),
+		EntryBase: entryBase,
+		FreeGPR:   0xffffffff,
+		FreeCRF:   0xff,
+	})
+	return &c.vliwChunk[len(c.vliwChunk)-1]
 }
 
 // TranslateGroup translates the group of base instructions reachable from
@@ -189,7 +280,9 @@ func (t *Translator) TranslateGroup(entry uint32) (*vliw.Group, []uint32, error)
 
 	t.Stats.Groups++
 	t.Stats.VLIWs += uint64(len(c.g.VLIWs))
-	t.Stats.CodeBytes += uint64(vliw.CodeSize(c.g))
+	if size, err := t.encodedSize(c.g); err == nil {
+		t.Stats.CodeBytes += uint64(size)
+	}
 	return c.g, c.worklist, nil
 }
 

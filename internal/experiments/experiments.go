@@ -8,6 +8,8 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"daisy/internal/analytic"
 	"daisy/internal/cache"
@@ -83,11 +85,30 @@ func (m *M) FiniteILP() float64 {
 	return float64(m.Insts) / float64(m.VLIWCycles+m.StallCycles+m.InterpInsts)
 }
 
-// Runner memoizes measurements across tables.
+// Runner memoizes measurements across tables. It is safe for concurrent
+// use: each key is measured exactly once (singleflight — concurrent
+// callers of the same configuration block on the first measurement
+// rather than duplicating it), and distinct keys run in parallel.
 type Runner struct {
-	Scale  int
-	cache  map[Key]*M
-	static map[string][2]uint64
+	Scale int
+
+	mu      sync.Mutex
+	results map[Key]*measureEntry
+	statics map[string]*staticEntry
+}
+
+// measureEntry is one singleflight cache slot: the Once gates the
+// measurement, after which m/err are immutable.
+type measureEntry struct {
+	once sync.Once
+	m    M
+	err  error
+}
+
+type staticEntry struct {
+	once    sync.Once
+	dyn, st uint64
+	err     error
 }
 
 // NewRunner builds a runner; scale <= 0 selects the default input scale.
@@ -95,8 +116,8 @@ func NewRunner(scale int) *Runner {
 	if scale <= 0 {
 		scale = 2
 	}
-	return &Runner{Scale: scale, cache: make(map[Key]*M),
-		static: make(map[string][2]uint64)}
+	return &Runner{Scale: scale, results: make(map[Key]*measureEntry),
+		statics: make(map[string]*staticEntry)}
 }
 
 // Names lists the benchmarks in the paper's table order.
@@ -108,12 +129,37 @@ func Names() []string {
 	return names
 }
 
-// Measure runs (or recalls) one configuration.
+// Measure runs (or recalls) one configuration. Every call returns a
+// fresh copy of the memoized measurement (pointer-distinct, value-
+// identical), so callers may annotate or mutate their result without
+// corrupting the cache or racing with other callers.
 func (r *Runner) Measure(name string, cfg vliw.Config, pageSize uint32, h Hier) (*M, error) {
 	key := Key{Workload: name, Scale: r.Scale, Config: cfg.Name, PageSize: pageSize, Hier: h}
-	if m, ok := r.cache[key]; ok {
-		return m, nil
+	r.mu.Lock()
+	e, ok := r.results[key]
+	if !ok {
+		e = &measureEntry{}
+		r.results[key] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		m, err := r.measure(key, name, cfg, pageSize, h)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.m = *m
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := e.m
+	return &out, nil
+}
+
+// measure performs one uncached measurement. All state it touches is
+// built locally, so distinct keys can run concurrently.
+func (r *Runner) measure(key Key, name string, cfg vliw.Config, pageSize uint32, h Hier) (*M, error) {
 	w, err := workload.ByName(name)
 	if err != nil {
 		return nil, err
@@ -183,21 +229,116 @@ func (r *Runner) Measure(name string, cfg vliw.Config, pageSize uint32, h Hier) 
 		m.IMissRate = hier.ILevels[0].MissRate()
 		m.L2MissRate = hier.DLevels[len(hier.DLevels)-1].MissRate()
 	}
-	r.cache[key] = m
 	return m, nil
+}
+
+// Request names one configuration for MeasureAll. A Static request
+// warms the StaticTouched cache for the workload instead of running a
+// machine measurement.
+type Request struct {
+	Workload string
+	Config   vliw.Config
+	PageSize uint32
+	Hier     Hier
+	Static   bool
+}
+
+// MeasureAll feeds every request through Measure (or StaticTouched) on
+// a worker pool sized by GOMAXPROCS. Results land in the memo cache, so
+// subsequent table/figure generation replays them without re-running;
+// the tables come out bit-identical to a serial run because every
+// measurement is deterministic and fully isolated. Returns the first
+// error encountered after all workers drain.
+func (r *Runner) MeasureAll(reqs []Request) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan Request)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range ch {
+				var err error
+				if q.Static {
+					_, _, err = r.StaticTouched(q.Workload)
+				} else {
+					_, err = r.Measure(q.Workload, q.Config, q.PageSize, q.Hier)
+				}
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, q := range reqs {
+		ch <- q
+	}
+	close(ch)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// SuiteRequests lists every configuration the full table/figure suite
+// measures, deduplicated, so a Runner can be warmed with one MeasureAll
+// before generating all tables serially from cache.
+func SuiteRequests() []Request {
+	seen := make(map[Key]bool)
+	var reqs []Request
+	add := func(name string, cfg vliw.Config, ps uint32, h Hier) {
+		k := Key{Workload: name, Config: cfg.Name, PageSize: ps, Hier: h}
+		if !seen[k] {
+			seen[k] = true
+			reqs = append(reqs, Request{Workload: name, Config: cfg, PageSize: ps, Hier: h})
+		}
+	}
+	for _, name := range Names() {
+		for _, c := range vliw.Configs { // Figure 5.1 (covers Tables 5.1/5.2/5.6/5.7 etc.)
+			add(name, c, 4096, HierNone)
+		}
+		add(name, vliw.BigConfig, 4096, HierNone)
+		add(name, vliw.BigConfig, 4096, HierA) // Tables 5.3/5.4, Figure 5.2
+		add(name, vliw.EightIssueConfig, 4096, HierNone)
+		add(name, vliw.EightIssueConfig, 4096, HierB) // Table 5.5
+		for _, ps := range PageSizes {                // Figures 5.3-5.5
+			add(name, vliw.BigConfig, ps, HierNone)
+		}
+		reqs = append(reqs, Request{Workload: name, Static: true}) // Tables 5.1/5.9
+	}
+	return reqs
 }
 
 // StaticTouched interprets the workload once, counting distinct executed
 // instruction addresses (for the reuse factors of Table 5.9).
 func (r *Runner) StaticTouched(name string) (dynamic, static uint64, err error) {
-	if v, ok := r.static[name]; ok {
-		return v[0], v[1], nil
+	r.mu.Lock()
+	e, ok := r.statics[name]
+	if !ok {
+		e = &staticEntry{}
+		r.statics[name] = e
 	}
-	defer func() {
-		if err == nil {
-			r.static[name] = [2]uint64{dynamic, static}
-		}
-	}()
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.dyn, e.st, e.err = r.staticTouched(name)
+	})
+	return e.dyn, e.st, e.err
+}
+
+func (r *Runner) staticTouched(name string) (dynamic, static uint64, err error) {
 	w, err := workload.ByName(name)
 	if err != nil {
 		return 0, 0, err

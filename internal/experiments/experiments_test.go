@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"daisy/internal/vliw"
@@ -17,11 +18,23 @@ func TestMeasureMemoization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m1 != m2 {
+	if m1 == m2 {
+		t.Fatal("callers must get pointer-distinct copies, not the cache's own struct")
+	}
+	if *m1 != *m2 {
 		t.Fatal("identical keys must return the memoized measurement")
 	}
 	if m1.InfILP() <= 1 || m1.Insts == 0 || m1.VLIWs == 0 {
 		t.Fatalf("implausible measurement: %+v", m1)
+	}
+	// A caller mutating its copy must not poison the cache.
+	m1.Insts = 0
+	m3, err := r.Measure("wc", vliw.BigConfig, 4096, HierNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m3 != *m2 {
+		t.Fatal("mutating a returned measurement corrupted the cache")
 	}
 	if m1.FiniteILP() != m1.InfILP() {
 		t.Fatal("without a hierarchy there are no stall cycles")
@@ -32,6 +45,87 @@ func TestMeasureMemoization(t *testing.T) {
 	}
 	if mf.FiniteILP() > mf.InfILP() {
 		t.Fatal("stalls cannot raise ILP")
+	}
+}
+
+// TestMeasureConcurrent hammers one key from many goroutines (the
+// singleflight path) while MeasureAll warms a small request set in
+// parallel. Run under -race: every caller must observe a pointer-
+// distinct, value-identical copy of the single underlying measurement.
+func TestMeasureConcurrent(t *testing.T) {
+	r := NewRunner(1)
+	reqs := []Request{
+		{Workload: "wc", Config: vliw.BigConfig, PageSize: 4096, Hier: HierNone},
+		{Workload: "cmp", Config: vliw.BigConfig, PageSize: 4096, Hier: HierNone},
+		{Workload: "c_sieve", Config: vliw.BigConfig, PageSize: 4096, Hier: HierNone},
+		{Workload: "wc", Static: true},
+	}
+	const callers = 8
+	results := make([]*M, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := r.Measure("wc", vliw.BigConfig, 4096, HierNone)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.StallCycles++ // mutation must stay private to this caller
+			results[i] = m
+		}(i)
+	}
+	if err := r.MeasureAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] == nil || results[0] == nil {
+			t.Fatal("missing result")
+		}
+		if results[i] == results[0] {
+			t.Fatal("concurrent callers shared one *M")
+		}
+		if *results[i] != *results[0] {
+			t.Fatalf("concurrent callers diverged: %+v vs %+v", *results[i], *results[0])
+		}
+	}
+	// The warm cache replays the same values for a fresh (serial) caller.
+	m, err := r.Measure("wc", vliw.BigConfig, 4096, HierNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := *results[0]
+	want.StallCycles--
+	if *m != want {
+		t.Fatal("cached measurement differs from the concurrent ones")
+	}
+}
+
+// TestSuiteRequestsCoverSweeps checks the warm-up list includes the big
+// sweeps so MeasureAll actually parallelizes the expensive work.
+func TestSuiteRequestsCoverSweeps(t *testing.T) {
+	reqs := SuiteRequests()
+	perName := make(map[string]int)
+	statics := 0
+	for _, q := range reqs {
+		if q.Static {
+			statics++
+			continue
+		}
+		perName[q.Workload]++
+	}
+	if statics != len(Names()) {
+		t.Fatalf("want one static request per workload, got %d", statics)
+	}
+	// All configs at 4096/HierNone, the page sweep (4096 deduped away),
+	// and the two finite-cache points.
+	want := len(vliw.Configs) + len(PageSizes) - 1 + 2
+	for _, n := range Names() {
+		if perName[n] != want {
+			t.Fatalf("%s: want %d machine requests, got %d", n, want, perName[n])
+		}
 	}
 }
 

@@ -336,11 +336,19 @@ func decodeNode(b []byte) (*Node, int, error) {
 
 // EncodeGroup serializes a translated group to its binary form.
 func EncodeGroup(g *Group) ([]byte, error) {
+	return AppendGroup(nil, g)
+}
+
+// AppendGroup serializes g, appending to buf (which may be nil) and
+// returning the extended buffer. Callers that encode many groups — the
+// page layout sizes every group it places — pass a reused buffer so the
+// encoder stops regrowing one from scratch each time.
+func AppendGroup(buf []byte, g *Group) ([]byte, error) {
 	index := make(map[*VLIW]int, len(g.VLIWs))
 	for i, v := range g.VLIWs {
 		index[v] = i
 	}
-	out := binary.BigEndian.AppendUint32(nil, g.Entry)
+	out := binary.BigEndian.AppendUint32(buf, g.Entry)
 	out = binary.BigEndian.AppendUint16(out, uint16(len(g.VLIWs)))
 	for _, v := range g.VLIWs {
 		out = binary.BigEndian.AppendUint32(out, v.EntryBase)

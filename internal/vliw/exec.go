@@ -59,6 +59,14 @@ type pendingStore struct {
 
 // Executor runs tree VLIW instructions against a register file and the
 // base architecture's memory.
+//
+// A VLIW has parallel semantics: every parcel reads the register state at
+// VLIW entry. Instead of snapshotting the whole register file per Exec (a
+// ~1KB copy whose embedded fault pointers drag GC write barriers into the
+// hot loop), the executor writes through to RF and keeps a per-register
+// shadow of the entry value, validated by a generation counter that a new
+// VLIW bumps for free. Reads consult the shadow, so parcels still observe
+// entry state; rollback restores just the registers the VLIW dirtied.
 type Executor struct {
 	Mem   *mem.Memory
 	RF    RegFile
@@ -70,10 +78,13 @@ type Executor struct {
 	// OnFetch observes each VLIW instruction fetch (instruction cache).
 	OnFetch func(v *VLIW)
 
-	// Path holds the nodes visited by the most recent Exec call, in
-	// order; the VMM appends it to its per-group path log for the §3.5
-	// exception scan.
-	Path []*Node
+	// Steps accumulates one PathStep per Exec call since the last
+	// ResetPath. The VMM resets it at each group entry and replays it for
+	// the §3.5 exception scan. The log is deliberately pointer-free: a
+	// []*Node log would pay a GC write barrier on every node visited in
+	// the hot loop, and the node sequence is fully reconstructible from
+	// the VLIW and its recorded branch directions.
+	Steps []PathStep
 
 	// Journal, when non-nil, records each store's overwritten bytes so a
 	// group-granular checkpoint can be rolled back (the imprecise-mode
@@ -103,6 +114,34 @@ type Executor struct {
 	AliasHook func(pc, addr uint32) bool
 
 	spec [NumGPR]specRec
+
+	// stores is the reused pending-store queue of the VLIW in flight;
+	// owning it here (instead of allocating per Exec) keeps the hot loop
+	// allocation-free.
+	stores []pendingStore
+
+	// Entry-state shadows: slot n is live when its generation equals gen
+	// (bumped once per Exec), in which case old* holds the register's
+	// value at VLIW entry and RF holds the in-flight write. Rollback
+	// (rare: faults and aliases only) finds the dirty registers by
+	// scanning the generation arrays rather than keeping a dirty list,
+	// which keeps the common path down to the gen check itself.
+	gen        uint64
+	genGPR     [NumGPR]uint64
+	oldGPR     [NumGPR]uint32
+	oldCA      [NumGPR]bool
+	oldGTag    [NumGPR]bool
+	oldGFault  [NumGPR]*mem.Fault
+	genCRF     [NumCRF]uint64
+	oldCRFv    [NumCRF]uint8
+	oldCRTag   [NumCRF]bool
+	oldCRFault [NumCRF]*mem.Fault
+	genLR      uint64
+	genCTR     uint64
+	genXER     uint64
+	oldLR      uint32
+	oldCTR     uint32
+	oldXER     uint32
 }
 
 // ClearSpec discards load-verify records (used when the VMM re-enters
@@ -113,6 +152,297 @@ func (e *Executor) ClearSpec() {
 	}
 }
 
+// PathStep is one Exec call's compressed path record: which VLIW ran
+// (by its index in the group) and the direction taken at each conditional
+// split, in visit order (bit k of Dirs is the k-th split, 1 = Taken). A
+// faulted Exec records a partial step ending at the faulting node.
+type PathStep struct {
+	VLIWID int32
+	NDirs  uint8
+	Dirs   uint32
+}
+
+// StepNodes appends the node sequence step s visited in group g to buf,
+// replaying the recorded branch directions from the VLIW's root.
+func StepNodes(buf []*Node, g *Group, s PathStep) []*Node {
+	if int(s.VLIWID) >= len(g.VLIWs) {
+		return buf
+	}
+	n := g.VLIWs[s.VLIWID].Root
+	for k := uint8(0); ; k++ {
+		buf = append(buf, n)
+		if n.Leaf() || k >= s.NDirs {
+			return buf
+		}
+		if s.Dirs>>k&1 != 0 {
+			n = n.Taken
+		} else {
+			n = n.Fall
+		}
+	}
+}
+
+// StepLeaf returns the final node step s visited in group g.
+func StepLeaf(g *Group, s PathStep) *Node {
+	if int(s.VLIWID) >= len(g.VLIWs) {
+		return nil
+	}
+	n := g.VLIWs[s.VLIWID].Root
+	for k := uint8(0); !n.Leaf() && k < s.NDirs; k++ {
+		if s.Dirs>>k&1 != 0 {
+			n = n.Taken
+		} else {
+			n = n.Fall
+		}
+	}
+	return n
+}
+
+// ResetPath truncates the step log (a new group entry begins).
+func (e *Executor) ResetPath() {
+	e.Steps = e.Steps[:0]
+}
+
+// read returns the VLIW-entry value of r — the parallel-semantics read —
+// along with its exception tag and fault payload.
+func (e *Executor) read(r RegRef) (uint32, bool, *mem.Fault) {
+	switch r.Kind {
+	case RGPR:
+		if e.genGPR[r.N] == e.gen {
+			return e.oldGPR[r.N], e.oldGTag[r.N], e.oldGFault[r.N]
+		}
+		return e.RF.GPR[r.N], e.RF.GTag[r.N], e.RF.GFault[r.N]
+	case RCRF:
+		if e.genCRF[r.N] == e.gen {
+			return uint32(e.oldCRFv[r.N]), e.oldCRTag[r.N], e.oldCRFault[r.N]
+		}
+		return uint32(e.RF.CRFv[r.N]), e.RF.CRTag[r.N], e.RF.CRFault[r.N]
+	case RLR:
+		if e.genLR == e.gen {
+			return e.oldLR, false, nil
+		}
+		return e.RF.LR, false, nil
+	case RCTR:
+		if e.genCTR == e.gen {
+			return e.oldCTR, false, nil
+		}
+		return e.RF.CTR, false, nil
+	case RXER:
+		if e.genXER == e.gen {
+			return e.oldXER, false, nil
+		}
+		return e.RF.XER, false, nil
+	}
+	return 0, false, nil
+}
+
+// entryXER returns the XER value at VLIW entry.
+func (e *Executor) entryXER() uint32 {
+	if e.genXER == e.gen {
+		return e.oldXER
+	}
+	return e.RF.XER
+}
+
+// entryCA returns GPR n's carry-extender bit at VLIW entry.
+func (e *Executor) entryCA(n uint8) bool {
+	if e.genGPR[n] == e.gen {
+		return e.oldCA[n]
+	}
+	return e.RF.CA[n]
+}
+
+// carryOf returns the carry bit a parcel should consume at VLIW entry: the
+// XER CA bit when src is None, otherwise the extender bit of a renamed
+// register.
+func (e *Executor) carryOf(src RegRef) uint32 {
+	if src.Kind == RNone {
+		if e.entryXER()&ppc.XerCA != 0 {
+			return 1
+		}
+		return 0
+	}
+	if src.Kind == RGPR && e.entryCA(src.N) {
+		return 1
+	}
+	return 0
+}
+
+// save shadows r's current (entry) state before its first write in this
+// VLIW, so reads keep seeing entry values and rollback can restore it.
+// The fault-pointer slots are only stored when one side is non-nil: a
+// pointer store always pays a GC write barrier, and faults are rare
+// enough that the nil-over-nil case dominates.
+func (e *Executor) save(r RegRef) {
+	switch r.Kind {
+	case RGPR:
+		if e.genGPR[r.N] != e.gen {
+			e.genGPR[r.N] = e.gen
+			e.oldGPR[r.N] = e.RF.GPR[r.N]
+			e.oldCA[r.N] = e.RF.CA[r.N]
+			e.oldGTag[r.N] = e.RF.GTag[r.N]
+			if e.oldGFault[r.N] != nil || e.RF.GFault[r.N] != nil {
+				e.oldGFault[r.N] = e.RF.GFault[r.N]
+			}
+		}
+	case RCRF:
+		if e.genCRF[r.N] != e.gen {
+			e.genCRF[r.N] = e.gen
+			e.oldCRFv[r.N] = e.RF.CRFv[r.N]
+			e.oldCRTag[r.N] = e.RF.CRTag[r.N]
+			if e.oldCRFault[r.N] != nil || e.RF.CRFault[r.N] != nil {
+				e.oldCRFault[r.N] = e.RF.CRFault[r.N]
+			}
+		}
+	case RLR:
+		if e.genLR != e.gen {
+			e.genLR = e.gen
+			e.oldLR = e.RF.LR
+		}
+	case RCTR:
+		if e.genCTR != e.gen {
+			e.genCTR = e.gen
+			e.oldCTR = e.RF.CTR
+		}
+	case RXER:
+		if e.genXER != e.gen {
+			e.genXER = e.gen
+			e.oldXER = e.RF.XER
+		}
+	}
+}
+
+// write performs a write-through register update, shadowing the entry
+// value first. The GPR and CR cases — virtually every hot-loop write —
+// are flattened into one switch with barrier-free fault clearing; the
+// rest fall back to save + RegFile.Write.
+func (e *Executor) write(d RegRef, v uint32) {
+	switch d.Kind {
+	case RGPR:
+		n := d.N
+		if e.genGPR[n] != e.gen {
+			e.genGPR[n] = e.gen
+			e.oldGPR[n] = e.RF.GPR[n]
+			e.oldCA[n] = e.RF.CA[n]
+			e.oldGTag[n] = e.RF.GTag[n]
+			if e.oldGFault[n] != nil || e.RF.GFault[n] != nil {
+				e.oldGFault[n] = e.RF.GFault[n]
+			}
+		}
+		e.RF.GPR[n] = v
+		e.RF.GTag[n] = false
+		if e.RF.GFault[n] != nil {
+			e.RF.GFault[n] = nil
+		}
+		e.RF.CA[n] = false
+	case RCRF:
+		n := d.N
+		if e.genCRF[n] != e.gen {
+			e.genCRF[n] = e.gen
+			e.oldCRFv[n] = e.RF.CRFv[n]
+			e.oldCRTag[n] = e.RF.CRTag[n]
+			if e.oldCRFault[n] != nil || e.RF.CRFault[n] != nil {
+				e.oldCRFault[n] = e.RF.CRFault[n]
+			}
+		}
+		e.RF.CRFv[n] = uint8(v & 0xf)
+		e.RF.CRTag[n] = false
+		if e.RF.CRFault[n] != nil {
+			e.RF.CRFault[n] = nil
+		}
+	default:
+		e.save(d)
+		e.RF.Write(d, v)
+	}
+}
+
+// writeTagged marks d as holding a faulted speculative result (§2.1).
+func (e *Executor) writeTagged(d RegRef, f *mem.Fault) {
+	e.save(d)
+	e.RF.WriteTagged(d, f)
+}
+
+// setCarry records a carry-out (XER for architected destinations, the
+// extender bit for renamed ones), shadowing whichever location it touches.
+func (e *Executor) setCarry(d RegRef, ca bool) {
+	if d.Kind == RGPR && !d.Arch() {
+		e.save(d)
+	} else {
+		e.save(XER)
+	}
+	e.RF.SetCarry(d, ca)
+}
+
+// rollback restores every register the in-flight VLIW dirtied to its
+// shadowed entry value, scanning the generation arrays for live shadows.
+// Only fault paths pay this walk; the common commit path pays nothing.
+func (e *Executor) rollback() {
+	for n := range e.genGPR {
+		if e.genGPR[n] == e.gen {
+			e.RF.GPR[n] = e.oldGPR[n]
+			e.RF.CA[n] = e.oldCA[n]
+			e.RF.GTag[n] = e.oldGTag[n]
+			if e.RF.GFault[n] != e.oldGFault[n] {
+				e.RF.GFault[n] = e.oldGFault[n]
+			}
+		}
+	}
+	for n := range e.genCRF {
+		if e.genCRF[n] == e.gen {
+			e.RF.CRFv[n] = e.oldCRFv[n]
+			e.RF.CRTag[n] = e.oldCRTag[n]
+			if e.RF.CRFault[n] != e.oldCRFault[n] {
+				e.RF.CRFault[n] = e.oldCRFault[n]
+			}
+		}
+	}
+	if e.genLR == e.gen {
+		e.RF.LR = e.oldLR
+	}
+	if e.genCTR == e.gen {
+		e.RF.CTR = e.oldCTR
+	}
+	if e.genXER == e.gen {
+		e.RF.XER = e.oldXER
+	}
+}
+
+// primClass maps each primitive to its execParcel dispatch class, so the
+// hot loop takes one flat switch over a precomputed index instead of a
+// sparse two-level switch on the opcode.
+type primClass uint8
+
+const (
+	clALU primClass = iota
+	clNop
+	clLoad
+	clStore
+	clCopy
+	clMfcr
+	clMtcrf
+	clMcrf
+	clCrOp
+	clCmp
+)
+
+var classOf = func() [numPrims]primClass {
+	var t [numPrims]primClass // default clALU
+	t[PNop] = clNop
+	t[PLoad] = clLoad
+	t[PStore] = clStore
+	t[PCopy] = clCopy
+	t[PMfcr] = clMfcr
+	t[PMtcrf] = clMtcrf
+	t[PMcrf] = clMcrf
+	for _, p := range []Prim{PCrand, PCror, PCrxor, PCrnand, PCrnor} {
+		t[p] = clCrOp
+	}
+	for _, p := range []Prim{PCmpI, PCmpLI, PCmp, PCmpL} {
+		t[p] = clCmp
+	}
+	return t
+}()
+
 // Exec executes one VLIW with parallel semantics: all conditions and all
 // parcel inputs are read from the state at entry, stores are validated and
 // applied only after the whole taken path succeeds. On any fault the
@@ -121,34 +451,17 @@ func (e *Executor) Exec(v *VLIW) (Exit, *Fault) {
 	if e.OnFetch != nil {
 		e.OnFetch(v)
 	}
-	snap := e.RF
-	e.Path = e.Path[:0]
-	var stores []pendingStore
+	e.stores = e.stores[:0]
+	e.gen++
 	completed := uint64(0)
-
-	fail := func(n *Node, idx int, cause error, alias bool) (Exit, *Fault) {
-		e.RF = snap
-		e.Stats.Rollbacks++
-		if alias {
-			e.Stats.Aliases++
-		}
-		return Exit{}, &Fault{VLIW: v, Node: n, Parcel: idx,
-			Resume: v.EntryBase, Cause: cause, Alias: alias}
-	}
-	failCodeMod := func(n *Node) (Exit, *Fault) {
-		e.RF = snap
-		e.Stats.Rollbacks++
-		return Exit{}, &Fault{VLIW: v, Node: n, Parcel: -1,
-			Resume: v.EntryBase, CodeMod: true}
-	}
+	step := PathStep{VLIWID: int32(v.ID)}
 
 	n := v.Root
 	for {
-		e.Path = append(e.Path, n)
 		for i := range n.Ops {
 			p := &n.Ops[i]
-			if err, alias := e.execParcel(p, &snap, &stores); err != nil || alias {
-				return fail(n, i, err, alias)
+			if err, alias := e.execParcel(p); err != nil || alias {
+				return e.fail(v, n, i, err, alias, step)
 			}
 			if p.EndsInst {
 				completed++
@@ -157,37 +470,41 @@ func (e *Executor) Exec(v *VLIW) (Exit, *Fault) {
 		if n.Leaf() {
 			break
 		}
-		fv, tag, fp := snap.Read(CRF(n.Cond.CRF))
+		fv, tag, fp := e.read(CRF(n.Cond.CRF))
 		if tag {
-			return fail(n, -1, condFault(fp), false)
+			return e.fail(v, n, -1, condFault(fp), false, step)
 		}
 		bit := fv>>(3-uint(n.Cond.Bit))&1 != 0
 		if bit == n.Cond.Sense {
+			step.Dirs |= 1 << step.NDirs
 			n = n.Taken
 		} else {
 			n = n.Fall
 		}
+		step.NDirs++
 	}
 
 	// Two-phase store commit: validate everything, then apply, so a
 	// faulting store leaves memory untouched for the rollback.
-	for _, s := range stores {
+	for i := range e.stores {
+		s := &e.stores[i]
 		if e.FaultHook != nil {
 			if f := e.FaultHook(s.pc, s.addr, int(s.size), true); f != nil {
-				return fail(n, -1, f, false)
+				return e.fail(v, n, -1, f, false, step)
 			}
 		}
 		if err := e.Mem.CheckWrite(s.addr, int(s.size)); err != nil {
-			return fail(n, -1, err, false)
+			return e.fail(v, n, -1, err, false, step)
 		}
 		if e.Mem.ReadOnly(s.addr) {
 			// A store into translated code: roll back so the VMM can
 			// apply it interpretively and invalidate the stale
 			// translation before the next instruction runs (§3.2).
-			return failCodeMod(n)
+			return e.failCodeMod(v, n, step)
 		}
 	}
-	for _, s := range stores {
+	for i := range e.stores {
+		s := &e.stores[i]
 		if e.OnMem != nil {
 			e.OnMem(s.addr, int(s.size), true)
 		}
@@ -205,14 +522,37 @@ func (e *Executor) Exec(v *VLIW) (Exit, *Fault) {
 		}
 		if err != nil {
 			// CheckWrite passed; this cannot happen.
-			return fail(n, -1, err, false)
+			return e.fail(v, n, -1, err, false, step)
 		}
 		e.Stats.Stores++
 	}
 
 	e.Stats.VLIWs++
 	e.Stats.BaseInsts += completed
+	e.Steps = append(e.Steps, step)
 	return n.Exit, nil
+}
+
+// fail rolls the in-flight VLIW back to its entry state — a precise
+// base-instruction boundary — logs the (partial) step so the fault scan
+// can replay the path, and reports the fault.
+func (e *Executor) fail(v *VLIW, n *Node, idx int, cause error, alias bool, step PathStep) (Exit, *Fault) {
+	e.Steps = append(e.Steps, step)
+	e.rollback()
+	e.Stats.Rollbacks++
+	if alias {
+		e.Stats.Aliases++
+	}
+	return Exit{}, &Fault{VLIW: v, Node: n, Parcel: idx,
+		Resume: v.EntryBase, Cause: cause, Alias: alias}
+}
+
+func (e *Executor) failCodeMod(v *VLIW, n *Node, step PathStep) (Exit, *Fault) {
+	e.Steps = append(e.Steps, step)
+	e.rollback()
+	e.Stats.Rollbacks++
+	return Exit{}, &Fault{VLIW: v, Node: n, Parcel: -1,
+		Resume: v.EntryBase, CodeMod: true}
 }
 
 func condFault(f *mem.Fault) error {
@@ -223,64 +563,67 @@ func condFault(f *mem.Fault) error {
 }
 
 // noteWrite maintains the load-verify records: any write to a GPR clears
-// its pending record unless the write is itself a speculated load.
+// its pending record unless the write is itself a speculated load. The
+// store is guarded so the overwhelmingly common invalid-over-invalid case
+// stays read-only.
 func (e *Executor) noteWrite(d RegRef, rec specRec) {
-	if d.Kind == RGPR {
+	if d.Kind == RGPR && (rec.valid || e.spec[d.N].valid) {
 		e.spec[d.N] = rec
 	}
 }
 
-// execParcel runs one parcel, reading sources from snap and writing
-// results to e.RF. It returns (error, aliasDetected).
-func (e *Executor) execParcel(p *Parcel, snap *RegFile, stores *[]pendingStore) (error, bool) {
-	switch p.Op {
-	case PNop:
+// execParcel runs one parcel, reading sources from the entry-state shadow
+// and writing results through to RF. It returns (error, aliasDetected).
+func (e *Executor) execParcel(p *Parcel) (error, bool) {
+	switch classOf[p.Op] {
+	case clNop:
 		return nil, false
-	case PLoad:
-		return e.execLoad(p, snap)
-	case PStore:
-		return e.execStore(p, snap, stores)
-	case PCopy:
-		return e.execCopy(p, snap)
-	case PMfcr:
+	case clLoad:
+		return e.execLoad(p)
+	case clStore:
+		return e.execStore(p)
+	case clCopy:
+		return e.execCopy(p)
+	case clMfcr:
 		var cr uint32
 		for f := uint8(0); f < 8; f++ {
-			if snap.CRTag[f] {
-				return tagged(p, snap.CRFault[f]), false
+			fv, tag, fault := e.read(CRF(f))
+			if tag {
+				return tagged(p, fault), false
 			}
-			cr = ppc.SetCRField(cr, f, snap.CRFv[f])
+			cr = ppc.SetCRField(cr, f, uint8(fv))
 		}
-		e.RF.Write(p.D, cr)
+		e.write(p.D, cr)
 		e.noteWrite(p.D, specRec{})
 		return nil, false
-	case PMtcrf:
-		v, tag, f := snap.Read(p.A)
+	case clMtcrf:
+		v, tag, f := e.read(p.A)
 		if tag {
 			return tagged(p, f), false
 		}
 		for fld := uint8(0); fld < 8; fld++ {
 			if p.FXM&(0x80>>fld) != 0 {
-				e.RF.Write(CRF(fld), uint32(ppc.CRField(v, fld)))
+				e.write(CRF(fld), uint32(ppc.CRField(v, fld)))
 			}
 		}
 		return nil, false
-	case PMcrf:
-		v, tag, f := snap.Read(p.A)
+	case clMcrf:
+		v, tag, f := e.read(p.A)
 		if tag {
 			if p.Spec {
-				e.RF.WriteTagged(p.D, f)
+				e.writeTagged(p.D, f)
 				return nil, false
 			}
 			return tagged(p, f), false
 		}
-		e.RF.Write(p.D, v)
+		e.write(p.D, v)
 		return nil, false
-	case PCrand, PCror, PCrxor, PCrnand, PCrnor:
-		return e.execCrOp(p, snap)
-	case PCmpI, PCmpLI, PCmp, PCmpL:
-		return e.execCompare(p, snap)
+	case clCrOp:
+		return e.execCrOp(p)
+	case clCmp:
+		return e.execCompare(p)
 	}
-	return e.execALU(p, snap)
+	return e.execALU(p)
 }
 
 func tagged(p *Parcel, f *mem.Fault) error {
@@ -290,9 +633,9 @@ func tagged(p *Parcel, f *mem.Fault) error {
 	return fmt.Errorf("vliw: %s consumed tagged register", p.Op)
 }
 
-func (e *Executor) execALU(p *Parcel, snap *RegFile) (error, bool) {
-	a, tagA, fA := snap.Read(p.A)
-	b, tagB, fB := snap.Read(p.B)
+func (e *Executor) execALU(p *Parcel) (error, bool) {
+	a, tagA, fA := e.read(p.A)
+	b, tagB, fB := e.read(p.B)
 	tag := tagA || tagB
 	f := fA
 	if f == nil {
@@ -301,17 +644,18 @@ func (e *Executor) execALU(p *Parcel, snap *RegFile) (error, bool) {
 	// Carry-in source participates in dependence and tagging.
 	if p.Op == PAddE || p.Op == PSubfE {
 		if p.CASrc.Kind == RGPR {
-			if snap.GTag[p.CASrc.N] {
+			_, ctag, cf := e.read(p.CASrc)
+			if ctag {
 				tag = true
 				if f == nil {
-					f = snap.GFault[p.CASrc.N]
+					f = cf
 				}
 			}
 		}
 	}
 	if tag {
 		if p.Spec {
-			e.RF.WriteTagged(p.D, f)
+			e.writeTagged(p.D, f)
 			e.noteWrite(p.D, specRec{})
 			return nil, false
 		}
@@ -339,7 +683,7 @@ func (e *Executor) execALU(p *Parcel, snap *RegFile) (error, bool) {
 		r, ca = ppc.AddCarry(a, b, 0)
 		hasCA = true
 	case PAddE:
-		r, ca = ppc.AddCarry(a, b, snap.CarryOf(p.CASrc))
+		r, ca = ppc.AddCarry(a, b, e.carryOf(p.CASrc))
 		hasCA = true
 	case PSubf:
 		r = b - a
@@ -347,7 +691,7 @@ func (e *Executor) execALU(p *Parcel, snap *RegFile) (error, bool) {
 		r, ca = ppc.AddCarry(^a, b, 1)
 		hasCA = true
 	case PSubfE:
-		r, ca = ppc.AddCarry(^a, b, snap.CarryOf(p.CASrc))
+		r, ca = ppc.AddCarry(^a, b, e.carryOf(p.CASrc))
 		hasCA = true
 	case PSubfIC:
 		r, ca = ppc.AddCarry(^a, uint32(p.Imm), 1)
@@ -413,21 +757,21 @@ func (e *Executor) execALU(p *Parcel, snap *RegFile) (error, bool) {
 		return fmt.Errorf("vliw: unimplemented primitive %s", p.Op), false
 	}
 
-	e.RF.Write(p.D, r)
+	e.write(p.D, r)
 	e.noteWrite(p.D, specRec{})
 	if hasCA {
-		e.RF.SetCarry(p.D, ca)
+		e.setCarry(p.D, ca)
 	}
 	return nil, false
 }
 
-func (e *Executor) execCompare(p *Parcel, snap *RegFile) (error, bool) {
-	a, tagA, fA := snap.Read(p.A)
+func (e *Executor) execCompare(p *Parcel) (error, bool) {
+	a, tagA, fA := e.read(p.A)
 	var b uint32
 	var tagB bool
 	var fB *mem.Fault
 	if p.Op == PCmp || p.Op == PCmpL {
-		b, tagB, fB = snap.Read(p.B)
+		b, tagB, fB = e.read(p.B)
 	} else {
 		b = uint32(p.Imm)
 	}
@@ -437,7 +781,7 @@ func (e *Executor) execCompare(p *Parcel, snap *RegFile) (error, bool) {
 			f = fB
 		}
 		if p.Spec {
-			e.RF.WriteTagged(p.D, f)
+			e.writeTagged(p.D, f)
 			return nil, false
 		}
 		return tagged(p, f), false
@@ -445,18 +789,18 @@ func (e *Executor) execCompare(p *Parcel, snap *RegFile) (error, bool) {
 	var fld uint8
 	switch p.Op {
 	case PCmpI, PCmp:
-		fld = ppc.CompareSigned(int32(a), int32(b), snap.XER)
+		fld = ppc.CompareSigned(int32(a), int32(b), e.entryXER())
 	default:
-		fld = ppc.CompareUnsigned(a, b, snap.XER)
+		fld = ppc.CompareUnsigned(a, b, e.entryXER())
 	}
-	e.RF.Write(p.D, uint32(fld))
+	e.write(p.D, uint32(fld))
 	return nil, false
 }
 
-func (e *Executor) execCrOp(p *Parcel, snap *RegFile) (error, bool) {
-	av, tagA, fA := snap.Read(p.A)
-	bv, tagB, fB := snap.Read(p.B)
-	dv, tagD, fD := snap.Read(p.D) // read-modify-write of the dest field
+func (e *Executor) execCrOp(p *Parcel) (error, bool) {
+	av, tagA, fA := e.read(p.A)
+	bv, tagB, fB := e.read(p.B)
+	dv, tagD, fD := e.read(p.D) // read-modify-write of the dest field
 	if tagA || tagB || tagD {
 		f := fA
 		if f == nil {
@@ -466,7 +810,7 @@ func (e *Executor) execCrOp(p *Parcel, snap *RegFile) (error, bool) {
 			f = fD
 		}
 		if p.Spec {
-			e.RF.WriteTagged(p.D, f)
+			e.writeTagged(p.D, f)
 			return nil, false
 		}
 		return tagged(p, f), false
@@ -492,15 +836,15 @@ func (e *Executor) execCrOp(p *Parcel, snap *RegFile) (error, bool) {
 	if res {
 		nv |= m
 	}
-	e.RF.Write(p.D, uint32(nv))
+	e.write(p.D, uint32(nv))
 	return nil, false
 }
 
-func (e *Executor) execCopy(p *Parcel, snap *RegFile) (error, bool) {
-	v, tag, f := snap.Read(p.A)
+func (e *Executor) execCopy(p *Parcel) (error, bool) {
+	v, tag, f := e.read(p.A)
 	if tag {
 		if p.Spec {
-			e.RF.WriteTagged(p.D, f)
+			e.writeTagged(p.D, f)
 			e.noteWrite(p.D, specRec{})
 			return nil, false
 		}
@@ -524,10 +868,11 @@ func (e *Executor) execCopy(p *Parcel, snap *RegFile) (error, bool) {
 			}
 		}
 	}
-	e.RF.Write(p.D, v)
+	e.write(p.D, v)
 	e.noteWrite(p.D, specRec{})
 	if p.CommitCA && p.A.Kind == RGPR {
-		ca := snap.CA[p.A.N]
+		ca := e.entryCA(p.A.N)
+		e.save(XER)
 		if ca {
 			e.RF.XER |= ppc.XerCA
 		} else {
@@ -537,10 +882,10 @@ func (e *Executor) execCopy(p *Parcel, snap *RegFile) (error, bool) {
 	return nil, false
 }
 
-func (e *Executor) effectiveAddr(p *Parcel, snap *RegFile) (uint32, bool, *mem.Fault) {
-	a, tagA, fA := snap.Read(p.A)
+func (e *Executor) effectiveAddr(p *Parcel) (uint32, bool, *mem.Fault) {
+	a, tagA, fA := e.read(p.A)
 	if p.Indexed {
-		b, tagB, fB := snap.Read(p.B)
+		b, tagB, fB := e.read(p.B)
 		f := fA
 		if f == nil {
 			f = fB
@@ -565,11 +910,11 @@ func (e *Executor) readMem(addr uint32, size uint8, signed bool) (uint32, error)
 	}
 }
 
-func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
-	ea, tag, f := e.effectiveAddr(p, snap)
+func (e *Executor) execLoad(p *Parcel) (error, bool) {
+	ea, tag, f := e.effectiveAddr(p)
 	if tag {
 		if p.Spec {
-			e.RF.WriteTagged(p.D, f)
+			e.writeTagged(p.D, f)
 			e.noteWrite(p.D, specRec{})
 			return nil, false
 		}
@@ -579,7 +924,7 @@ func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
 		pa, xf := e.AddrXlate(ea, false)
 		if xf != nil {
 			if p.Spec {
-				e.RF.WriteTagged(p.D, xf)
+				e.writeTagged(p.D, xf)
 				e.noteWrite(p.D, specRec{})
 				return nil, false
 			}
@@ -590,7 +935,7 @@ func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
 	if e.FaultHook != nil {
 		if f := e.FaultHook(p.BaseAddr, ea, int(p.Size), false); f != nil {
 			if p.Spec {
-				e.RF.WriteTagged(p.D, f)
+				e.writeTagged(p.D, f)
 				e.noteWrite(p.D, specRec{})
 				return nil, false
 			}
@@ -609,14 +954,14 @@ func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
 			if !ok {
 				mf = &mem.Fault{Addr: ea}
 			}
-			e.RF.WriteTagged(p.D, mf)
+			e.writeTagged(p.D, mf)
 			e.noteWrite(p.D, specRec{})
 			return nil, false
 		}
 		return err, false
 	}
 	e.Stats.Loads++
-	e.RF.Write(p.D, v)
+	e.write(p.D, v)
 	rec := specRec{}
 	if p.SpecLoad {
 		rec = specRec{valid: true, addr: ea, size: p.Size, signed: p.Signed}
@@ -625,12 +970,12 @@ func (e *Executor) execLoad(p *Parcel, snap *RegFile) (error, bool) {
 	return nil, false
 }
 
-func (e *Executor) execStore(p *Parcel, snap *RegFile, stores *[]pendingStore) (error, bool) {
-	v, tag, f := snap.Read(p.D)
+func (e *Executor) execStore(p *Parcel) (error, bool) {
+	v, tag, f := e.read(p.D)
 	if tag {
 		return tagged(p, f), false
 	}
-	ea, tagEA, fEA := e.effectiveAddr(p, snap)
+	ea, tagEA, fEA := e.effectiveAddr(p)
 	if tagEA {
 		return tagged(p, fEA), false
 	}
@@ -641,7 +986,7 @@ func (e *Executor) execStore(p *Parcel, snap *RegFile, stores *[]pendingStore) (
 		}
 		ea = pa
 	}
-	*stores = append(*stores, pendingStore{addr: ea, size: p.Size, val: v, pc: p.BaseAddr})
+	e.stores = append(e.stores, pendingStore{addr: ea, size: p.Size, val: v, pc: p.BaseAddr})
 	return nil, false
 }
 

@@ -70,18 +70,24 @@ func (rf *RegFile) Read(r RegRef) (v uint32, tag bool, f *mem.Fault) {
 	return 0, false, nil
 }
 
-// Write sets a register, clearing its tag.
+// Write sets a register, clearing its tag. Fault pointers are cleared
+// only when set: a pointer store pays a GC write barrier even for nil, and
+// fault payloads are rare.
 func (rf *RegFile) Write(r RegRef, v uint32) {
 	switch r.Kind {
 	case RGPR:
 		rf.GPR[r.N] = v
 		rf.GTag[r.N] = false
-		rf.GFault[r.N] = nil
+		if rf.GFault[r.N] != nil {
+			rf.GFault[r.N] = nil
+		}
 		rf.CA[r.N] = false
 	case RCRF:
 		rf.CRFv[r.N] = uint8(v & 0xf)
 		rf.CRTag[r.N] = false
-		rf.CRFault[r.N] = nil
+		if rf.CRFault[r.N] != nil {
+			rf.CRFault[r.N] = nil
+		}
 	case RLR:
 		rf.LR = v
 	case RCTR:

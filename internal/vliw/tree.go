@@ -54,6 +54,16 @@ type Exit struct {
 	Target uint32 // base-architecture address for entry/offpage/syscall/interp
 	Via    RegRef // LR or CTR for ExitIndirect
 	Next   *VLIW  // successor for ExitNext
+
+	// Chain, when non-nil on an ExitEntry leaf, is the translated group
+	// for Target, recorded by the VMM the first time the exit is resolved
+	// so later trips skip the dispatch lookup entirely — the software
+	// analogue of §3.4's resolved cross-page branch becoming a direct VLIW
+	// address. Links are severed whenever the page's translation is
+	// invalidated (see PageTranslation.Unchain) and are never created
+	// while observation hooks are installed, so chaining changes
+	// wall-clock time, never the modeled machine.
+	Chain *Group
 }
 
 func (e Exit) String() string {

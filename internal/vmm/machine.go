@@ -96,6 +96,12 @@ type Stats struct {
 	CrossCTR    uint64 // via the count register
 	IntraEntry  uint64 // same-page entry-point transfers
 
+	// Group chaining (a pure wall-clock optimization: neither counter
+	// feeds any paper table, and IntraEntry above counts chained and
+	// dispatched transfers identically).
+	ChainPatches uint64 // exit edges patched with a direct group link
+	ChainFollows uint64 // dispatches bypassed by following a chain
+
 	SMCInvalidations    uint64
 	Exceptions          uint64 // precise exceptions recovered
 	AliasRecoveries     uint64 // load-verify re-executions (Table 5.7)
@@ -189,11 +195,12 @@ type Machine struct {
 	aliasCount map[uint32]int // by page base
 	inhibit    map[uint32]bool
 
-	// pathLog records the nodes executed since the current group's entry
-	// for the exception scan.
-	pathLog  []*vliw.Node
 	curGroup *vliw.Group
 	maxInsts uint64
+
+	// scanBuf is the reused node buffer for expanding the executor's step
+	// log on the (rare) fault-scan path.
+	scanBuf []*vliw.Node
 
 	// Imprecise-mode checkpoint (the reproduction's stand-in for
 	// Appendix B's resume_vliw): the register file and PC at the current
@@ -233,16 +240,9 @@ func New(m *mem.Memory, env *interp.Env, opt Options) *Machine {
 	m.OnProtectedStore = func(addr uint32, size int) {
 		ma.dirty[addr&^(ma.Trans.Opt.PageSize-1)] = true
 	}
-	ma.Exec.OnMem = func(addr uint32, size int, write bool) {
-		if ma.StallFn != nil {
-			ma.Stats.StallCycles += ma.StallFn(addr, size, write, false)
-		}
-	}
-	ma.Exec.OnFetch = func(v *vliw.VLIW) {
-		if ma.StallFn != nil {
-			ma.Stats.StallCycles += ma.StallFn(v.Addr, v.Bytes, false, true)
-		}
-	}
+	// The StallFn bridge hooks are installed by Start only when a cache
+	// model is attached, so the common case pays no indirect call per
+	// memory access or VLIW fetch.
 	if !opt.Trans.PreciseExceptions {
 		// Without per-instruction commits, faults recover by rolling the
 		// whole group back: journal its stores.
@@ -281,6 +281,17 @@ func (m *Machine) Start(entry uint32, maxInsts uint64) {
 	m.St.PC = entry
 	m.maxInsts = maxInsts
 	m.Exec.RF.FromState(&m.St)
+	if m.StallFn != nil {
+		m.Exec.OnMem = func(addr uint32, size int, write bool) {
+			m.Stats.StallCycles += m.StallFn(addr, size, write, false)
+		}
+		m.Exec.OnFetch = func(v *vliw.VLIW) {
+			m.Stats.StallCycles += m.StallFn(v.Addr, v.Bytes, false, true)
+		}
+	} else {
+		m.Exec.OnMem = nil
+		m.Exec.OnFetch = nil
+	}
 }
 
 // StepGroup advances execution to the next precise synchronization point:
@@ -301,7 +312,9 @@ func (m *Machine) StepGroup() (halted bool, err error) {
 }
 
 func (m *Machine) checkBudget() error {
-	if m.maxInsts > 0 && m.Stats.BaseInsts() >= m.maxInsts {
+	// Reads the executor's live counter rather than the Stats mirror so
+	// runGroup does not have to re-sync the mirror on every VLIW.
+	if m.maxInsts > 0 && m.Exec.Stats.BaseInsts+m.Stats.InterpInsts >= m.maxInsts {
 		return fmt.Errorf("%w (pc %#x)", ErrBudget, m.St.PC)
 	}
 	return nil
@@ -356,14 +369,29 @@ func (m *Machine) castOut() {
 	}
 }
 
-// invalidate destroys the translation of one page (§3.2).
+// invalidate destroys the translation of one page (§3.2). Every caller —
+// SMC drain, LRU cast-out, quarantine engagement, adaptive retranslation —
+// funnels through here, so the unchain walk below is the single point
+// where group-chaining links die with the translation they point into.
 func (m *Machine) invalidate(base uint32) {
-	if _, ok := m.pages[base]; !ok {
+	pt, ok := m.pages[base]
+	if !ok {
 		return
 	}
+	pt.Unchain()
 	delete(m.pages, base)
 	m.lru.remove(base)
 	m.Mem.SetReadOnly(base, false)
+}
+
+// chainingEnabled reports whether exit edges may be patched with (and
+// followed through) direct group links. Any observation hook — the
+// lockstep validator's OnGroupStart/OnBoundary, or a chaos injector's
+// executor hooks — disables chaining entirely, so PR 1's differential
+// validation still sees every dispatch the unchained machine would make.
+func (m *Machine) chainingEnabled() bool {
+	return m.OnGroupStart == nil && m.OnBoundary == nil &&
+		m.Exec.FaultHook == nil && m.Exec.AliasHook == nil
 }
 
 // InvalidatePage destroys the translation of the page containing addr, if
@@ -465,7 +493,18 @@ func (m *Machine) recordTrace(entry uint32) func(pc uint32) (bool, bool) {
 // runGroup executes translated code from the current PC until control
 // leaves the current page, a system call is serviced, or the program
 // halts. It returns halt=true on SysHalt.
+//
+// The Stats.Exec mirror is synced once per runGroup here (plus at the few
+// in-loop points that read it: boundary hooks, recovery, SMC drains)
+// instead of after every VLIW; checkBudget reads the live executor
+// counter directly.
 func (m *Machine) runGroup() (bool, error) {
+	halt, err := m.runGroupLoop()
+	m.Stats.Exec = m.Exec.Stats
+	return halt, err
+}
+
+func (m *Machine) runGroupLoop() (bool, error) {
 	if m.OnGroupStart != nil {
 		m.OnGroupStart(m.St.PC)
 	}
@@ -481,19 +520,19 @@ func (m *Machine) runGroup() (bool, error) {
 		return false, err
 	}
 	m.curGroup = g
-	m.pathLog = m.pathLog[:0]
+	m.Exec.ResetPath()
 	m.checkpoint(g.Entry)
 	v := g.VLIWs[0]
+	chainOK := m.chainingEnabled()
 
 	for {
 		if err := m.checkBudget(); err != nil {
 			return false, err
 		}
 		exit, fault := m.Exec.Exec(v)
-		m.Stats.Exec = m.Exec.Stats
 		m.Stats.Cycles++ // one cycle per attempted VLIW
-		m.pathLog = append(m.pathLog, m.Exec.Path...)
 		if fault != nil {
+			m.Stats.Exec = m.Exec.Stats
 			return m.recover(fault)
 		}
 
@@ -506,6 +545,7 @@ func (m *Machine) runGroup() (bool, error) {
 		// mode only). Syscall exits defer the callback until the service
 		// routine has run, so the observed state includes its effects.
 		if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions && exit.Kind != vliw.ExitSyscall {
+			m.Stats.Exec = m.Exec.Stats
 			m.OnBoundary(m.Stats.BaseInsts())
 		}
 
@@ -526,6 +566,18 @@ func (m *Machine) runGroup() (bool, error) {
 			if smcHit {
 				return false, nil
 			}
+			// A chained exit edge already names the target group: hop to
+			// it without touching the dispatch maps. (Skipping the LRU
+			// touch is benign — the hop is intra-page, so no other page's
+			// recency can interleave before the next real dispatch.)
+			if exit.Chain != nil && chainOK {
+				m.Stats.ChainFollows++
+				m.curGroup = exit.Chain
+				m.Exec.ResetPath()
+				m.checkpoint(exit.Chain.Entry)
+				v = exit.Chain.VLIWs[0]
+				continue
+			}
 			// Stay inside the page: hop to the target group directly.
 			if m.pages[m.St.PC&^(m.Trans.Opt.PageSize-1)] == nil {
 				return false, nil
@@ -534,8 +586,21 @@ func (m *Machine) runGroup() (bool, error) {
 			if err != nil {
 				return false, err
 			}
+			// Patch the exit edge that got us here so the next trip skips
+			// the dispatch above. The leaf — the last node the executor
+			// visited, whose Exit is the one Exec just returned — is
+			// recovered from the last step's recorded directions.
+			if chainOK {
+				if steps := m.Exec.Steps; len(steps) > 0 {
+					leaf := vliw.StepLeaf(m.curGroup, steps[len(steps)-1])
+					if leaf != nil && leaf.Exit.Kind == vliw.ExitEntry && leaf.Exit.Chain == nil {
+						leaf.Exit.Chain = ng
+						m.Stats.ChainPatches++
+					}
+				}
+			}
 			m.curGroup = ng
-			m.pathLog = m.pathLog[:0]
+			m.Exec.ResetPath()
 			m.checkpoint(ng.Entry)
 			v = ng.VLIWs[0]
 			continue
@@ -582,6 +647,7 @@ func (m *Machine) runGroup() (bool, error) {
 			m.Exec.RF.FromState(&m.St)
 			m.Exec.ClearSpec()
 			if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions {
+				m.Stats.Exec = m.Exec.Stats
 				m.OnBoundary(m.Stats.BaseInsts())
 			}
 			return false, nil
@@ -731,6 +797,7 @@ func (m *Machine) drainDirty() bool {
 	if len(m.dirty) == 0 {
 		return false
 	}
+	m.Stats.Exec = m.Exec.Stats // noteTrouble timestamps in completed insts
 	for b := range m.dirty {
 		m.invalidate(b)
 		m.Stats.SMCInvalidations++

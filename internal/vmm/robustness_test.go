@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"daisy/internal/asm"
+	"daisy/internal/core"
 	"daisy/internal/interp"
 	"daisy/internal/mem"
 )
@@ -160,6 +161,273 @@ func TestQuarantineBackoff(t *testing.T) {
 	m.noteTrouble(other)
 	if m.pageQuarantined(other) {
 		t.Fatal("stale events engaged a quarantine")
+	}
+}
+
+// chainLoopSrc is a counted loop confined to one translation page; its
+// back edge targets an existing group entry, so the exit edge is
+// chainable and the loop iterations follow the chain.
+const chainLoopSrc = `
+_start:	li r1, 0
+	li r2, 200
+loop:	addi r1, r1, 1
+	slwi r3, r1, 2
+	srwi r3, r3, 2
+	subi r2, r2, 1
+	cmpwi r2, 0
+	bgt loop
+	li r0, 0
+	sc
+`
+
+// runChainLoop assembles chainLoopSrc and runs it under the VMM with the
+// given options, returning the machine and the loop page's base.
+func runChainLoop(t *testing.T, opt Options) (*Machine, uint32) {
+	t.Helper()
+	prog, err := asm.Assemble(chainLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.New(1 << 20)
+	_ = prog.Load(mm)
+	ma := New(mm, &interp.Env{}, opt)
+	if err := ma.Run(prog.Entry(), 0); err != nil {
+		t.Fatalf("vmm: %v", err)
+	}
+	if ma.St.GPR[1] != 200 {
+		t.Fatalf("r1 = %d, want 200", ma.St.GPR[1])
+	}
+	return ma, prog.Entry() &^ (ma.Trans.Opt.PageSize - 1)
+}
+
+// TestChainPatchAndFollow proves the happy path: a hot intra-page loop
+// gets its exit edge patched once and then bypasses VMM dispatch on
+// every iteration, without changing the architected result.
+func TestChainPatchAndFollow(t *testing.T) {
+	ma, base := runChainLoop(t, DefaultOptions())
+	if ma.Stats.ChainPatches == 0 {
+		t.Fatal("no exit edges were chained")
+	}
+	if ma.Stats.ChainFollows == 0 {
+		t.Fatal("chained edges were never followed")
+	}
+	pt := ma.pages[base]
+	if pt == nil {
+		t.Fatal("loop page not translated")
+	}
+	if pt.ChainCount() == 0 {
+		t.Fatal("translated page reports no live chains")
+	}
+	// Explicit invalidation (the path shared by SMC, cast-out, quarantine
+	// and adaptive retranslation) severs every link on the page.
+	ma.InvalidatePage(base)
+	if got := pt.ChainCount(); got != 0 {
+		t.Fatalf("ChainCount after invalidate = %d, want 0", got)
+	}
+}
+
+// TestChainTeardownSMC stores into a chained page mid-run: the SMC drain
+// must sever the chains and retranslate, with output identical to the
+// reference interpreter.
+func TestChainTeardownSMC(t *testing.T) {
+	src := `
+_start:	li r1, 0
+	li r2, 20
+loop:	bl work
+	subi r2, r2, 1
+	cmpwi r2, 0
+	bgt loop
+	li r0, 0
+	sc
+
+	.org 0x12000     # the patched page: a chainable loop + self-patch
+work:	li r4, 30
+inner:	addi r1, r1, 1   # hot intra-page loop: its exit edge chains
+	subi r4, r4, 1
+	cmpwi r4, 0
+	bgt inner
+	lis r5, tgt@ha
+	addi r5, r5, tgt@l
+	lwz r6, 0(r5)
+	addi r6, r6, 1   # bump the addi immediate: self-modifies this page
+	stw r6, 0(r5)
+tgt:	addi r1, r1, 10
+	blr
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1 := mem.New(1 << 20)
+	_ = prog.Load(m1)
+	ip := interp.New(m1, &interp.Env{}, prog.Entry())
+	if err := ip.Run(0); !errors.Is(err, interp.ErrHalt) {
+		t.Fatalf("interp: %v", err)
+	}
+
+	m2 := mem.New(1 << 20)
+	_ = prog.Load(m2)
+	ma := New(m2, &interp.Env{}, DefaultOptions())
+	ma.Start(prog.Entry(), 0)
+
+	// Step to a precise boundary where the patched page is translated and
+	// chained, and hold on to its translation object.
+	var pt *core.PageTranslation
+	const patchedBase = 0x12000
+	for i := 0; i < 10_000; i++ {
+		halted, err := ma.StepGroup()
+		if err != nil {
+			t.Fatalf("vmm: %v", err)
+		}
+		if pt == nil && ma.Stats.ChainPatches > 0 {
+			pt = ma.pages[patchedBase]
+		}
+		if halted {
+			break
+		}
+	}
+	if ip.St.GPR[1] != ma.St.GPR[1] {
+		t.Fatalf("r1: vmm=%d interp=%d (stale chain followed?)", ma.St.GPR[1], ip.St.GPR[1])
+	}
+	if !m1.EqualData(m2) {
+		t.Fatal("memory images differ")
+	}
+	if ma.Stats.BaseInsts() != ip.InstCount {
+		t.Fatalf("instruction counts differ: vmm=%d interp=%d", ma.Stats.BaseInsts(), ip.InstCount)
+	}
+	if ma.Stats.ChainPatches == 0 || ma.Stats.ChainFollows == 0 {
+		t.Fatalf("chaining never engaged (patches=%d follows=%d)",
+			ma.Stats.ChainPatches, ma.Stats.ChainFollows)
+	}
+	if ma.Stats.SMCInvalidations == 0 {
+		t.Fatal("expected code-modification invalidations")
+	}
+	if pt != nil && pt.ChainCount() != 0 {
+		t.Fatalf("invalidated translation still holds %d chains", pt.ChainCount())
+	}
+}
+
+// TestChainTeardownCastOut runs chained loops on two pages with a
+// one-page translation pool: translating the second page casts out the
+// first, which must sever its links while the program still reaches the
+// right answer through plain VMM dispatch.
+func TestChainTeardownCastOut(t *testing.T) {
+	src := `
+_start:	li r1, 0
+	li r2, 200
+loop:	addi r1, r1, 1
+	slwi r3, r1, 2
+	srwi r3, r3, 2
+	subi r2, r2, 1
+	cmpwi r2, 0
+	bgt loop
+	b page2
+
+	.org 0x12000
+page2:	li r4, 100
+loop2:	addi r1, r1, 2
+	subi r4, r4, 1
+	cmpwi r4, 0
+	bgt loop2
+	li r0, 0
+	sc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.New(1 << 20)
+	_ = prog.Load(mm)
+	opt := DefaultOptions()
+	opt.MaxPages = 1
+	ma := New(mm, &interp.Env{}, opt)
+	ma.Start(prog.Entry(), 0)
+
+	// Step until the first page is translated and chained, holding on to
+	// its translation, then run to completion.
+	var pt *core.PageTranslation
+	base := prog.Entry() &^ (opt.Trans.PageSize - 1)
+	for i := 0; i < 10_000; i++ {
+		halted, err := ma.StepGroup()
+		if err != nil {
+			t.Fatalf("vmm: %v", err)
+		}
+		if pt == nil && ma.Stats.ChainPatches > 0 {
+			pt = ma.pages[base]
+		}
+		if halted {
+			break
+		}
+	}
+	if ma.St.GPR[1] != 400 {
+		t.Fatalf("r1 = %d, want 400", ma.St.GPR[1])
+	}
+	if pt == nil || ma.Stats.ChainPatches == 0 {
+		t.Fatal("first page never chained")
+	}
+	if ma.Stats.CastOuts == 0 {
+		t.Fatal("expected a cast-out with MaxPages=1")
+	}
+	if got := pt.ChainCount(); got != 0 {
+		t.Fatalf("ChainCount after cast-out = %d, want 0", got)
+	}
+}
+
+// TestChainTeardownQuarantine engages the quarantine on a chained page
+// and checks the invalidation severed its links.
+func TestChainTeardownQuarantine(t *testing.T) {
+	opt := DefaultOptions()
+	opt.QuarantineThreshold = 3
+	opt.QuarantineWindow = 1 << 30
+	opt.QuarantineBackoff = 1000
+	ma, base := runChainLoop(t, opt)
+	pt := ma.pages[base]
+	if pt == nil || pt.ChainCount() == 0 {
+		t.Fatal("precondition: chained translation present")
+	}
+	for i := 0; i < opt.QuarantineThreshold; i++ {
+		ma.noteTrouble(base)
+	}
+	if ma.Stats.Quarantines != 1 {
+		t.Fatalf("Quarantines = %d, want 1", ma.Stats.Quarantines)
+	}
+	if got := pt.ChainCount(); got != 0 {
+		t.Fatalf("ChainCount after quarantine = %d, want 0", got)
+	}
+}
+
+// TestChainingDisabledWithHooks checks the mutual exclusion that keeps
+// PR 1's lockstep validation sound: any boundary/group observation hook
+// suppresses both patching and following, while the program still runs
+// to the right answer.
+func TestChainingDisabledWithHooks(t *testing.T) {
+	prog, err := asm.Assemble(chainLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := []struct {
+		name    string
+		install func(*Machine)
+	}{
+		{"OnBoundary", func(m *Machine) { m.OnBoundary = func(uint64) {} }},
+		{"OnGroupStart", func(m *Machine) { m.OnGroupStart = func(uint32) {} }},
+	}
+	for _, h := range hooks {
+		mm := mem.New(1 << 20)
+		_ = prog.Load(mm)
+		ma := New(mm, &interp.Env{}, DefaultOptions())
+		h.install(ma)
+		if err := ma.Run(prog.Entry(), 0); err != nil {
+			t.Fatalf("%s: vmm: %v", h.name, err)
+		}
+		if ma.St.GPR[1] != 200 {
+			t.Fatalf("%s: r1 = %d, want 200", h.name, ma.St.GPR[1])
+		}
+		if ma.Stats.ChainPatches != 0 || ma.Stats.ChainFollows != 0 {
+			t.Fatalf("%s: chaining engaged with hook installed (patches=%d follows=%d)",
+				h.name, ma.Stats.ChainPatches, ma.Stats.ChainFollows)
+		}
 	}
 }
 

@@ -35,18 +35,34 @@ type scanWalker struct {
 }
 
 // ScanFault locates the base instruction for a fault using the faulting
-// VLIW's entry offset and its partial path (still in Exec.Path).
+// VLIW's entry offset and its partial path (the span of the last Exec).
 func (m *Machine) ScanFault(f *vliw.Fault) (uint32, bool) {
-	return m.scanNodes(f.VLIW.EntryBase, m.Exec.Path, f.Node, f.Parcel)
+	steps := m.Exec.Steps
+	if m.curGroup == nil || len(steps) == 0 {
+		return 0, false
+	}
+	return m.scanSteps(f.VLIW.EntryBase, steps[len(steps)-1:], f.Node, f.Parcel)
 }
 
 // ScanFaultFromGroupEntry locates the base instruction using only the
-// group entry correspondence and the full path log.
+// group entry correspondence and the full path accumulated since the
+// group was entered (the executor resets its step log at each entry).
 func (m *Machine) ScanFaultFromGroupEntry(f *vliw.Fault) (uint32, bool) {
 	if m.curGroup == nil {
 		return 0, false
 	}
-	return m.scanNodes(m.curGroup.Entry, m.pathLog, f.Node, f.Parcel)
+	return m.scanSteps(m.curGroup.Entry, m.Exec.Steps, f.Node, f.Parcel)
+}
+
+// scanSteps expands the executor's compressed step log back into the node
+// sequence (fault paths only — the hot loop records steps precisely so it
+// never has to log node pointers) and runs the completion walk over it.
+func (m *Machine) scanSteps(startPC uint32, steps []vliw.PathStep, stopNode *vliw.Node, stopParcel int) (uint32, bool) {
+	m.scanBuf = m.scanBuf[:0]
+	for _, s := range steps {
+		m.scanBuf = vliw.StepNodes(m.scanBuf, m.curGroup, s)
+	}
+	return m.scanNodes(startPC, m.scanBuf, stopNode, stopParcel)
 }
 
 func (m *Machine) scanNodes(startPC uint32, nodes []*vliw.Node, stopNode *vliw.Node, stopParcel int) (uint32, bool) {
