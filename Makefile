@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot chaos-smoke bench-smoke ci bench benchcmp experiments
+.PHONY: all build test vet race race-hot chaos-smoke bench-smoke cover cover-update ci bench benchcmp experiments
 
 all: build
 
@@ -29,11 +29,24 @@ chaos-smoke:
 	$(GO) run ./cmd/daisy-chaos -seed 1 -seeds 2
 
 # Compile and exercise the perf-path benchmarks once so a regression that
-# breaks them is caught in CI, not at the next perf investigation.
+# breaks them is caught in CI, not at the next perf investigation. The
+# pattern matches both the bare executor and the telemetry-attached variant.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=ExecutorThroughput -benchtime=1x .
 
-ci: vet build race race-hot chaos-smoke bench-smoke
+# Coverage ratchet: total statement coverage may not fall more than 0.5
+# points below the committed COVERAGE.txt baseline. Raise the floor after
+# adding tests with `make cover-update`.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/daisy-cover -profile cover.out -check
+
+cover-update:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/daisy-cover -profile cover.out -update
+	@echo "commit COVERAGE.txt to ratchet the floor"
+
+ci: vet build race race-hot chaos-smoke bench-smoke cover
 
 # Run the full benchmark suite once and archive the parsed metrics as a
 # dated JSON snapshot — the repository's perf trajectory. Compare two

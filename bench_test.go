@@ -16,6 +16,7 @@ import (
 	"daisy/internal/mem"
 	"daisy/internal/oracle"
 	"daisy/internal/stats"
+	"daisy/internal/telemetry"
 	"daisy/internal/vliw"
 	"daisy/internal/vmm"
 	"daisy/internal/workload"
@@ -366,6 +367,31 @@ func BenchmarkExecutorThroughput(b *testing.B) {
 		if err := ma.Run(prog.Entry(), 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExecutorThroughputTelemetry runs the same workload with the
+// telemetry subsystem attached at the default 1-in-64 dispatch sampling
+// rate. The acceptance bar (EXPERIMENTS.md) is ≤10% over the bare
+// BenchmarkExecutorThroughput; a machine with no telemetry attached must
+// stay within 1% of it.
+func BenchmarkExecutorThroughputTelemetry(b *testing.B) {
+	w, _ := workload.ByName("c_sieve")
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mem.New(experiments.MemSize)
+		_ = prog.Load(m)
+		ma := vmm.New(m, &interp.Env{In: in}, vmm.DefaultOptions())
+		ma.AttachTelemetry(telemetry.New(telemetry.DefaultOptions()))
+		if err := ma.Run(prog.Entry(), 0); err != nil {
+			b.Fatal(err)
+		}
+		ma.SyncTelemetry()
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"daisy/cmd/internal/obs"
 	"daisy/internal/chaos"
 	"daisy/internal/workload"
 )
@@ -37,7 +38,13 @@ func main() {
 		maxInsts = flag.Uint64("max", 0, "instruction budget per run (0: default)")
 		verbose  = flag.Bool("v", false, "print the offending group on divergence")
 	)
+	ob := obs.Register()
 	flag.Parse()
+	tel, finish, err := ob.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-chaos:", err)
+		os.Exit(1)
+	}
 
 	names := func() []string {
 		var n []string
@@ -80,11 +87,12 @@ func main() {
 			}
 			for s := *seed; s < *seed+int64(nSeeds); s++ {
 				rep, err := chaos.Run(chaos.Scenario{
-					Workload: w,
-					Scale:    *scale,
-					Seed:     s,
-					Injector: inj,
-					MaxInsts: *maxInsts,
+					Workload:  w,
+					Scale:     *scale,
+					Seed:      s,
+					Injector:  inj,
+					MaxInsts:  *maxInsts,
+					Telemetry: tel,
 				})
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "daisy-chaos: %s/%s seed %d: %v\n", w.Name, injLabel, s, err)
@@ -109,6 +117,10 @@ func main() {
 				}
 			}
 		}
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-chaos:", err)
+		os.Exit(1)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "daisy-chaos: %d divergence(s) — architectural compatibility violated\n", failures)

@@ -1,0 +1,144 @@
+// daisy-cover is the CI coverage ratchet. It parses one or more Go cover
+// profiles (as written by `go test -coverprofile`), computes total statement
+// coverage, and compares it against the committed baseline:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/daisy-cover -profile cover.out -check    # CI: fail on drop
+//	go run ./cmd/daisy-cover -profile cover.out -update   # ratchet forward
+//
+// -check fails when coverage falls more than the tolerance (default 0.5
+// points) below the baseline, so coverage can drift down only in sub-half-
+// percent steps and only until the next -update raises the floor again.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+const defaultBaseline = "COVERAGE.txt"
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	baseline := flag.String("baseline", defaultBaseline, "committed baseline file")
+	check := flag.Bool("check", false, "fail if coverage dropped more than -tolerance below baseline")
+	update := flag.Bool("update", false, "rewrite the baseline with the measured coverage")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed drop in coverage points before -check fails")
+	flag.Parse()
+
+	got, covered, total, err := readProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("coverage: %.2f%% of statements (%d/%d)\n", got, covered, total)
+
+	if *update {
+		body := fmt.Sprintf("%.2f\n", got)
+		if err := os.WriteFile(*baseline, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline %s updated to %.2f%%\n", *baseline, got)
+		return
+	}
+	if !*check {
+		return
+	}
+	want, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("%v (run with -update to create the baseline)", err))
+	}
+	if got < want-*tolerance {
+		fatal(fmt.Errorf("coverage ratchet: %.2f%% is more than %.2f points below baseline %.2f%%",
+			got, *tolerance, want))
+	}
+	fmt.Printf("ratchet ok: baseline %.2f%%, tolerance %.2f points\n", want, *tolerance)
+	if got > want {
+		fmt.Printf("coverage rose; consider `make cover-update` to raise the floor\n")
+	}
+}
+
+// readProfile totals statement coverage over a cover profile. Blocks that
+// appear multiple times (merged profiles) count once, as covered if any
+// occurrence ran.
+func readProfile(path string) (pct float64, covered, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int64
+		hit   bool
+	}
+	blocks := make(map[string]*block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:sl.sc,el.ec numstmt count
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		count, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%s: bad count in %q", path, line)
+		}
+		rest := line[:sp]
+		sp = strings.LastIndexByte(rest, ' ')
+		if sp < 0 {
+			return 0, 0, 0, fmt.Errorf("%s: malformed line %q", path, line)
+		}
+		stmts, err := strconv.ParseInt(rest[sp+1:], 10, 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%s: bad stmt count in %q", path, line)
+		}
+		pos := rest[:sp]
+		b := blocks[pos]
+		if b == nil {
+			b = &block{stmts: stmts}
+			blocks[pos] = b
+		}
+		if count > 0 {
+			b.hit = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	for _, b := range blocks {
+		total += b.stmts
+		if b.hit {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0, fmt.Errorf("%s: no coverage blocks found", path)
+	}
+	return 100 * float64(covered) / float64(total), covered, total, nil
+}
+
+func readBaseline(path string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(string(b)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	return v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daisy-cover:", err)
+	os.Exit(1)
+}

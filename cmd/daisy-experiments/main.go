@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"daisy/cmd/internal/obs"
 	"daisy/internal/experiments"
 	"daisy/internal/stats"
 )
@@ -24,9 +25,23 @@ func main() {
 		scale = flag.Int("scale", 2, "benchmark input scale")
 		only  = flag.String("only", "", "comma-separated experiment ids (t51..t59, f51..f55, cost, oracle, ablate)")
 	)
+	ob := obs.Register()
 	flag.Parse()
-	if err := run(*scale, *only); err != nil {
+	// The runner builds its machines internally, so only the profiling
+	// half of the observability flags applies here (-cpuprofile /
+	// -memprofile); attach telemetry to a single run with daisy-run or
+	// watch one live with daisy-top.
+	_, finish, err := ob.Setup()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-experiments:", err)
+		os.Exit(1)
+	}
+	runErr := run(*scale, *only)
+	if ferr := finish(); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "daisy-experiments:", runErr)
 		os.Exit(1)
 	}
 }

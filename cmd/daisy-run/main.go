@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"daisy"
+	"daisy/cmd/internal/obs"
 	"daisy/internal/vliw"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		memMB      = flag.Uint("mem", 8, "physical memory size in MiB")
 		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
 	)
+	ob := obs.Register()
 	flag.Parse()
 
 	if *listCfg {
@@ -45,14 +47,14 @@ func main() {
 		return
 	}
 	if err := run(*configName, uint32(*pageSize), *wl, *scale, *inputFile,
-		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, flag.Args()); err != nil {
+		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, ob, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-run:", err)
 		os.Exit(1)
 	}
 }
 
 func run(configName string, pageSize uint32, wl string, scale int, inputFile string,
-	useInterp, check, dump bool, memSize uint32, maxInsts uint64, args []string) error {
+	useInterp, check, dump bool, memSize uint32, maxInsts uint64, ob *obs.Flags, args []string) error {
 
 	cfg, err := vliw.ConfigByName(configName)
 	if err != nil {
@@ -130,8 +132,20 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 	}
 	env := &daisy.Env{In: input}
 	ma := daisy.NewMachine(m, env, opt)
-	if err := ma.Run(prog.Entry(), maxInsts); err != nil {
+	tel, finish, err := ob.Setup()
+	if err != nil {
 		return err
+	}
+	if tel != nil {
+		ma.AttachTelemetry(tel)
+	}
+	runErr := ma.Run(prog.Entry(), maxInsts)
+	ma.SyncTelemetry()
+	if ferr := finish(); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
+	if runErr != nil {
+		return runErr
 	}
 	os.Stdout.Write(env.Out)
 

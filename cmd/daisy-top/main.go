@@ -1,0 +1,102 @@
+// daisy-top runs a workload on the DAISY machine with telemetry attached
+// and renders a live "top"-style screen: hot pages, hottest groups, the
+// translation-vs-execution time split, and the headline counters — the
+// observability the paper's evaluation chapters assume but end-of-run
+// Stats cannot provide.
+//
+// Usage:
+//
+//	daisy-top -workload c_sieve               # live screen until the run ends
+//	daisy-top -workload wc -interval 250ms    # faster refresh
+//	daisy-top -workload lex -once             # no live screen, final render only
+//
+// The final screen is always printed to stdout when the run completes; the
+// live refresh (stderr, ANSI clear) can be disabled with -once for use in
+// pipes and tests.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"daisy"
+	"daisy/internal/telemetry"
+	"daisy/internal/vliw"
+)
+
+func main() {
+	var (
+		wlName     = flag.String("workload", "c_sieve", "workload to run (see daisy-run -workload)")
+		scale      = flag.Int("scale", 1, "workload input scale")
+		configName = flag.String("config", "24-16-8-7", "machine configuration")
+		sample     = flag.Int("sample", 64, "sample 1 in N dispatches")
+		interval   = flag.Duration("interval", time.Second, "live refresh interval")
+		once       = flag.Bool("once", false, "skip the live screen; print only the final render")
+		rows       = flag.Int("rows", 10, "hot-page / hot-group rows")
+		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*wlName, *scale, *configName, *sample, *interval, *once, *rows, *maxInsts); err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wlName string, scale int, configName string, sample int,
+	interval time.Duration, once bool, rows int, maxInsts uint64) error {
+
+	cfg, err := vliw.ConfigByName(configName)
+	if err != nil {
+		return err
+	}
+	w, err := daisy.WorkloadByName(wlName)
+	if err != nil {
+		return err
+	}
+	prog, err := w.Build()
+	if err != nil {
+		return err
+	}
+
+	m := daisy.NewMemory(8 << 20)
+	if err := prog.Load(m); err != nil {
+		return err
+	}
+	opt := daisy.DefaultOptions()
+	opt.Trans.Config = cfg
+	ma := daisy.NewMachine(m, &daisy.Env{In: w.Input(scale)}, opt)
+
+	tel := daisy.NewTelemetry(daisy.TelemetryOptions{SampleEvery: sample, TraceCap: 1 << 16})
+	ma.AttachTelemetry(tel)
+
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- ma.Run(prog.Entry(), maxInsts) }()
+
+	topOpt := telemetry.TopOptions{Rows: rows}
+	if !once {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+	live:
+		for {
+			select {
+			case err := <-done:
+				if err != nil && !errors.Is(err, daisy.ErrHalt) {
+					return err
+				}
+				break live
+			case <-tick.C:
+				fmt.Fprint(os.Stderr, "\x1b[2J\x1b[H"+telemetry.RenderTop(tel.Snapshot(), time.Since(start), topOpt))
+			}
+		}
+	} else if err := <-done; err != nil && !errors.Is(err, daisy.ErrHalt) {
+		return err
+	}
+
+	ma.SyncTelemetry()
+	fmt.Print(telemetry.RenderTop(tel.Snapshot(), time.Since(start), topOpt))
+	return nil
+}

@@ -13,7 +13,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"daisy"
 	"daisy/internal/mem"
@@ -37,10 +39,10 @@ skip:	stw r6, 4(r5)
 	sc
 `
 
-func main() {
+func run(w io.Writer) error {
 	prog, err := daisy.Assemble(src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Reference: where does real (interpreted) hardware fault?
@@ -51,9 +53,9 @@ func main() {
 	errI := ip.Run(0)
 	var f1 *mem.Fault
 	if !errors.As(errI, &f1) {
-		log.Fatalf("interpreter did not fault: %v", errI)
+		return fmt.Errorf("interpreter did not fault: %v", errI)
 	}
-	fmt.Printf("interpreter faults at pc=%#x (addr %#x) after %d instructions; r3=%d\n",
+	fmt.Fprintf(w, "interpreter faults at pc=%#x (addr %#x) after %d instructions; r3=%d\n",
 		ip.St.PC, f1.Addr, ip.InstCount, ip.St.GPR[3])
 
 	// DAISY: same program, heavily reordered VLIW code.
@@ -63,22 +65,29 @@ func main() {
 	ma := daisy.NewMachine(m2, &daisy.Env{}, daisy.DefaultOptions())
 	ma.OnFault = func(fv *vliw.Fault, scanPC uint32) {
 		groupPC, _ := ma.ScanFaultFromGroupEntry(fv)
-		fmt.Printf("VMM: VLIW%d rolled back to boundary %#x; §3.5 scan -> %#x (per-VLIW) / %#x (group-entry walk)\n",
+		fmt.Fprintf(w, "VMM: VLIW%d rolled back to boundary %#x; §3.5 scan -> %#x (per-VLIW) / %#x (group-entry walk)\n",
 			fv.VLIW.ID, fv.Resume, scanPC, groupPC)
 	}
 	errV := ma.Run(prog.Entry(), 0)
 	var f2 *mem.Fault
 	if !errors.As(errV, &f2) {
-		log.Fatalf("vmm did not fault: %v", errV)
+		return fmt.Errorf("vmm did not fault: %v", errV)
 	}
-	fmt.Printf("DAISY faults at pc=%#x (addr %#x) after %d instructions; r3=%d\n",
+	fmt.Fprintf(w, "DAISY faults at pc=%#x (addr %#x) after %d instructions; r3=%d\n",
 		ma.St.PC, f2.Addr, ma.Stats.BaseInsts(), ma.St.GPR[3])
-	fmt.Printf("exception delivery (§3.3): SRR0=%#x DAR=%#x DSISR=%#x\n",
+	fmt.Fprintf(w, "exception delivery (§3.3): SRR0=%#x DAR=%#x DSISR=%#x\n",
 		ma.St.SRR0, ma.St.DAR, ma.St.DSISR)
 
 	if ip.St.PC != ma.St.PC || ip.InstCount != ma.Stats.BaseInsts() ||
 		ip.St.GPR[3] != ma.St.GPR[3] {
-		log.Fatal("MISMATCH — precision violated")
+		return errors.New("MISMATCH — precision violated")
 	}
-	fmt.Println("precise: identical fault point, instruction count and architected state.")
+	fmt.Fprintln(w, "precise: identical fault point, instruction count and architected state.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

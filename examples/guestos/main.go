@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"daisy"
 	"daisy/internal/vmm"
@@ -77,20 +79,20 @@ loop:	addi r12, r12, 100
 	sc
 `
 
-func main() {
+func run(w io.Writer) error {
 	prog, err := daisy.Assemble(miniOS)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m := daisy.NewMemory(8 << 20)
 	if err := prog.Load(m); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opt := daisy.DefaultOptions()
 	opt.GuestFaultVectors = true
 	ma := vmm.New(m, &daisy.Env{}, opt)
 	if err := ma.Run(prog.Entry(), 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	faults, _ := m.Read32(0x6ff8)
@@ -98,13 +100,20 @@ func main() {
 	for i := uint32(1); i <= 40; i++ {
 		want += 100 * i
 	}
-	fmt.Printf("checksum r14 = %d (expected %d)\n", ma.St.GPR[14], want)
-	fmt.Printf("page faults serviced by the guest kernel: %d (expected 40)\n", faults)
-	fmt.Printf("VMM exceptions recovered: %d, instructions interpreted during delivery: %d\n",
+	fmt.Fprintf(w, "checksum r14 = %d (expected %d)\n", ma.St.GPR[14], want)
+	fmt.Fprintf(w, "page faults serviced by the guest kernel: %d (expected 40)\n", faults)
+	fmt.Fprintf(w, "VMM exceptions recovered: %d, instructions interpreted during delivery: %d\n",
 		ma.Stats.Exceptions, ma.Stats.InterpInsts)
-	fmt.Println("\nThe kernel at vector 0x300, the rfi trampolines and the user loop all")
-	fmt.Println("ran as dynamically translated tree-VLIW code — no OS modifications.")
+	fmt.Fprintln(w, "\nThe kernel at vector 0x300, the rfi trampolines and the user loop all")
+	fmt.Fprintln(w, "ran as dynamically translated tree-VLIW code — no OS modifications.")
 	if ma.St.GPR[14] != want || faults != 40 {
-		log.Fatal("unexpected result")
+		return fmt.Errorf("unexpected result: r14=%d faults=%d", ma.St.GPR[14], faults)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

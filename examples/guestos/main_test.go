@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGuestosExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+	for _, want := range []string{
+		"checksum r14 = 82000 (expected 82000)",
+		"page faults serviced by the guest kernel: 40 (expected 40)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

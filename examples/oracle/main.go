@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"daisy"
 	"daisy/internal/mem"
@@ -15,47 +17,54 @@ import (
 	"daisy/internal/vmm"
 )
 
-func main() {
-	w, err := daisy.WorkloadByName("c_sieve")
+func run(w io.Writer) error {
+	wl, err := daisy.WorkloadByName("c_sieve")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	prog, err := w.Build()
+	prog, err := wl.Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	input := w.Input(1)
+	input := wl.Input(1)
 	const memSize = 8 << 20
 
 	// DAISY's dynamic-compilation ILP on the 24-issue machine.
 	m := mem.New(memSize)
 	if err := prog.Load(m); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ma := vmm.New(m, &daisy.Env{In: input}, vmm.DefaultOptions())
 	if err := ma.Run(prog.Entry(), 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("c_sieve under DAISY (24-issue):     ILP %5.2f\n", ma.Stats.InfILP())
+	fmt.Fprintf(w, "c_sieve under DAISY (24-issue):     ILP %5.2f\n", ma.Stats.InfILP())
 
 	// Resource-bounded oracle points on the way up (Chapter 6's
 	// "practical intermediate points").
 	for _, ops := range []int{4, 8, 16, 24, 64} {
 		r, err := oracle.Measure(prog, input, oracle.Limits{OpsPerCycle: ops}, memSize)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("oracle bounded to %2d ops/cycle:     ILP %5.2f\n", ops, r.ILP)
+		fmt.Fprintf(w, "oracle bounded to %2d ops/cycle:     ILP %5.2f\n", ops, r.ILP)
 	}
 
 	// The unconstrained oracle.
 	r, err := oracle.Measure(prog, input, oracle.Limits{}, memSize)
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "oracle (unlimited resources):       ILP %5.2f over %d instructions\n",
+		r.ILP, r.Insts)
+	fmt.Fprintln(w, "\nThe gap between the first and last line is what Chapter 6's")
+	fmt.Fprintln(w, "interpretive compilation proposes to close: schedule the executed")
+	fmt.Fprintln(w, "trace instead of all statically reachable paths.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("oracle (unlimited resources):       ILP %5.2f over %d instructions\n",
-		r.ILP, r.Insts)
-	fmt.Println("\nThe gap between the first and last line is what Chapter 6's")
-	fmt.Println("interpretive compilation proposes to close: schedule the executed")
-	fmt.Println("trace instead of all statically reachable paths.")
 }

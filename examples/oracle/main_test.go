@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOracleExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle schedule of the full dynamic trace is slow; skipped in -short")
+	}
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+	for _, want := range []string{
+		"c_sieve under DAISY (24-issue):",
+		"oracle bounded to  4 ops/cycle:",
+		"oracle (unlimited resources):",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -7,7 +7,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"daisy"
 )
@@ -42,57 +44,60 @@ skip:	bdnz loop
 	sc
 `
 
-func main() {
+func run(w io.Writer) error {
 	// Part 1: the Figure 2.2 fragment, translated and dumped.
 	prog, err := daisy.Assemble(figure22)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m := daisy.NewMemory(1 << 20)
 	if err := prog.Load(m); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g, err := daisy.Translate(m, daisy.DefaultTranslatorOptions(), prog.Entry())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("=== Figure 2.2 fragment as tree VLIWs ===")
-	fmt.Print(g.Dump())
+	fmt.Fprintln(w, "=== Figure 2.2 fragment as tree VLIWs ===")
+	fmt.Fprint(w, g.Dump())
 
 	// Part 2: run a loop under both engines.
-	run := func() (*daisy.Env, *daisy.State, uint64, float64) {
-		p, err := daisy.Assemble(demo)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mm := daisy.NewMemory(1 << 20)
-		if err := p.Load(mm); err != nil {
-			log.Fatal(err)
-		}
-		env := &daisy.Env{}
-		ma := daisy.NewMachine(mm, env, daisy.DefaultOptions())
-		if err := ma.Run(p.Entry(), 0); err != nil {
-			log.Fatal(err)
-		}
-		return env, &ma.St, ma.Stats.BaseInsts(), ma.Stats.InfILP()
+	p, err := daisy.Assemble(demo)
+	if err != nil {
+		return err
 	}
-	_, st, insts, ilp := run()
+	mm := daisy.NewMemory(1 << 20)
+	if err := p.Load(mm); err != nil {
+		return err
+	}
+	ma := daisy.NewMachine(mm, &daisy.Env{}, daisy.DefaultOptions())
+	if err := ma.Run(p.Entry(), 0); err != nil {
+		return err
+	}
+	st, insts, ilp := &ma.St, ma.Stats.BaseInsts(), ma.Stats.InfILP()
 
 	p2, _ := daisy.Assemble(demo)
 	m2 := daisy.NewMemory(1 << 20)
 	_ = p2.Load(m2)
 	ip := daisy.NewInterpreter(m2, &daisy.Env{}, p2.Entry())
 	if err := ip.Run(0); !errors.Is(err, daisy.ErrHalt) {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("\n=== DAISY vs interpreter on a 500-iteration loop ===")
-	fmt.Printf("daisy:  r3=%d r6=%d, %d instructions, ILP %.2f\n",
+	fmt.Fprintln(w, "\n=== DAISY vs interpreter on a 500-iteration loop ===")
+	fmt.Fprintf(w, "daisy:  r3=%d r6=%d, %d instructions, ILP %.2f\n",
 		st.GPR[3], st.GPR[6], insts, ilp)
-	fmt.Printf("interp: r3=%d r6=%d, %d instructions\n",
+	fmt.Fprintf(w, "interp: r3=%d r6=%d, %d instructions\n",
 		ip.St.GPR[3], ip.St.GPR[6], ip.InstCount)
 	if st.GPR[3] != ip.St.GPR[3] || st.GPR[6] != ip.St.GPR[6] || insts != ip.InstCount {
-		log.Fatal("MISMATCH — this should never happen")
+		return errors.New("MISMATCH — this should never happen")
 	}
-	fmt.Println("identical architected results.")
+	fmt.Fprintln(w, "identical architected results.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+	for _, want := range []string{
+		"=== Figure 2.2 fragment as tree VLIWs ===",
+		"=== DAISY vs interpreter on a 500-iteration loop ===",
+		"identical architected results.",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"daisy"
 )
@@ -28,27 +30,34 @@ patch:	addi r31, r31, 10  # immediate grows 11, 12, 13, ...
 	sc
 `
 
-func main() {
+func run(w io.Writer) error {
 	prog, err := daisy.Assemble(src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m := daisy.NewMemory(1 << 20)
 	if err := prog.Load(m); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ma := daisy.NewMachine(m, &daisy.Env{}, daisy.DefaultOptions())
 	if err := ma.Run(prog.Entry(), 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// 11+12+...+18 = 116
-	fmt.Printf("r31 = %d (expected 116: the machine executed each freshly patched instruction)\n",
+	fmt.Fprintf(w, "r31 = %d (expected 116: the machine executed each freshly patched instruction)\n",
 		ma.St.GPR[31])
-	fmt.Printf("code-modification invalidations serviced by the VMM: %d\n",
+	fmt.Fprintf(w, "code-modification invalidations serviced by the VMM: %d\n",
 		ma.Stats.SMCInvalidations)
-	fmt.Printf("pages (re)translated: %d, instructions interpreted during recovery: %d\n",
+	fmt.Fprintf(w, "pages (re)translated: %d, instructions interpreted during recovery: %d\n",
 		ma.Stats.PagesBuilt, ma.Stats.InterpInsts)
 	if ma.St.GPR[31] != 116 {
-		log.Fatal("unexpected result")
+		return fmt.Errorf("unexpected result: r31 = %d", ma.St.GPR[31])
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

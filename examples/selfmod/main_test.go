@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSelfmodExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+	for _, want := range []string{
+		"r31 = 116",
+		"code-modification invalidations serviced by the VMM:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

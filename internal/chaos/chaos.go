@@ -29,6 +29,7 @@ import (
 
 	"daisy/internal/interp"
 	"daisy/internal/mem"
+	"daisy/internal/telemetry"
 	"daisy/internal/vmm"
 	"daisy/internal/workload"
 )
@@ -57,6 +58,10 @@ type Scenario struct {
 	// perturbations (the mutation tests' planted translator bugs) are
 	// reproduced in the replay exactly like injector faults.
 	Prepare func(m *vmm.Machine)
+	// Telemetry, if non-nil, is attached to every machine the scenario
+	// builds, so one instance accumulates metrics and events across the
+	// lockstep run and any bisection replays.
+	Telemetry *telemetry.Telemetry
 }
 
 // Divergence describes a detected compatibility violation.
@@ -175,6 +180,9 @@ func (sc *Scenario) build() (*vmm.Machine, *interp.Interp, uint32, error) {
 		return nil, nil, 0, err
 	}
 	ma := vmm.New(mm, &interp.Env{In: in}, opt)
+	if sc.Telemetry != nil {
+		ma.AttachTelemetry(sc.Telemetry)
+	}
 	if sc.Injector != nil {
 		sc.Injector.Arm(ma, rand.New(rand.NewSource(sc.Seed)))
 	}

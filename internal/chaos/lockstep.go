@@ -29,6 +29,7 @@ func lockstep(sc *Scenario) (*Report, *Divergence, error) {
 	}
 	ma.Mem.TrackWrites(true)
 	ref.Mem.TrackWrites(true)
+	defer ma.SyncTelemetry() // nil-safe; finalizes the time-split counters
 
 	rep := &Report{}
 	ma.Start(entry, sc.maxInsts())

@@ -117,6 +117,21 @@ type Stats struct {
 	Nanos      uint64 // host wall-clock time spent translating
 }
 
+// Sub returns the field-wise difference s - o: the cost of the translation
+// work done between two snapshots (telemetry's translate-burst accounting).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Groups:     s.Groups - o.Groups,
+		BaseInsts:  s.BaseInsts - o.BaseInsts,
+		Parcels:    s.Parcels - o.Parcels,
+		VLIWs:      s.VLIWs - o.VLIWs,
+		CodeBytes:  s.CodeBytes - o.CodeBytes,
+		WorkUnits:  s.WorkUnits - o.WorkUnits,
+		PathClones: s.PathClones - o.PathClones,
+		Nanos:      s.Nanos - o.Nanos,
+	}
+}
+
 // Translator converts base-architecture binary code to VLIW groups.
 type Translator struct {
 	Mem *mem.Memory

@@ -1,0 +1,100 @@
+package golden
+
+import (
+	"flag"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"daisy/internal/telemetry"
+	"daisy/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current implementation")
+
+// goldenScale keeps every workload's golden run small enough for CI while
+// still crossing page boundaries, chaining, and (for the suite's heavier
+// members) thousands of precise boundaries.
+const goldenScale = 1
+
+// goldenTelOpt is the telemetry configuration the event goldens are
+// recorded under. Sampling at 1-in-8 exercises the sampled paths many
+// times per run; the small ring forces wrap-around on the bigger
+// workloads, locking down the digest-covers-overwritten-events property.
+var goldenTelOpt = telemetry.Options{SampleEvery: 8, TraceCap: 1 << 12}
+
+// TestGoldenRuns locks the per-boundary architected-state digests and the
+// telemetry event streams of every workload to the committed goldens.
+func TestGoldenRuns(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tel := telemetry.New(goldenTelOpt)
+			got, err := CaptureRun(w, goldenScale, tel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotEv := CaptureEvents(w, goldenScale, tel, goldenTelOpt)
+
+			runPath := filepath.Join("testdata", "golden", w.Name+".json")
+			evPath := filepath.Join("testdata", "golden", w.Name+".events.json")
+			if *update {
+				if err := WriteJSON(runPath, got); err != nil {
+					t.Fatal(err)
+				}
+				if err := WriteJSON(evPath, gotEv); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			var want Run
+			if err := ReadJSON(runPath, &want); err != nil {
+				t.Fatalf("missing golden (run with -update to record): %v", err)
+			}
+			if !reflect.DeepEqual(*got, want) {
+				t.Errorf("state golden mismatch for %s:\n got  %+v\n want %+v\n(rerun with -update if the change is intended)",
+					w.Name, *got, want)
+			}
+
+			var wantEv Events
+			if err := ReadJSON(evPath, &wantEv); err != nil {
+				t.Fatalf("missing events golden (run with -update to record): %v", err)
+			}
+			if !reflect.DeepEqual(*gotEv, wantEv) {
+				t.Errorf("events golden mismatch for %s:\n got  %+v\n want %+v\n(rerun with -update if the change is intended)",
+					w.Name, *gotEv, wantEv)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterminism re-captures one workload twice and insists the
+// fingerprints are identical — the property every other golden test
+// depends on. It would catch, e.g., host-clock leakage into event streams
+// or map-iteration order reaching a digest.
+func TestGoldenDeterminism(t *testing.T) {
+	w, err := workload.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel1 := telemetry.New(goldenTelOpt)
+	r1, err := CaptureRun(w, goldenScale, tel1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel2 := telemetry.New(goldenTelOpt)
+	r2, err := CaptureRun(w, goldenScale, tel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("state capture is not deterministic:\n run1 %+v\n run2 %+v", r1, r2)
+	}
+	e1 := CaptureEvents(w, goldenScale, tel1, goldenTelOpt)
+	e2 := CaptureEvents(w, goldenScale, tel2, goldenTelOpt)
+	if !reflect.DeepEqual(e1, e2) {
+		t.Errorf("event capture is not deterministic:\n run1 %+v\n run2 %+v", e1, e2)
+	}
+}

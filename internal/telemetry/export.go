@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistSnapshot is a point-in-time copy of one histogram.
+type HistSnapshot struct {
+	Name     string    `json:"name"`
+	Bounds   []float64 `json:"bounds"`
+	Counts   []uint64  `json:"counts"` // len(Bounds)+1; last bucket is +Inf
+	Count    uint64    `json:"count"`
+	Sum      float64   `json:"sum"`
+	TimeBase bool      `json:"time_base,omitempty"`
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// MetricValue is one scalar metric in a snapshot.
+type MetricValue struct {
+	Name     string  `json:"name"`
+	Value    float64 `json:"value"`
+	TimeBase bool    `json:"time_base,omitempty"`
+}
+
+// Snapshot is a consistent-enough copy of the whole registry: each metric
+// is copied atomically, hot maps and histograms under their locks. Safe to
+// take from any goroutine while the machine runs.
+type Snapshot struct {
+	Counters   []MetricValue  `json:"counters"`
+	Gauges     []MetricValue  `json:"gauges"`
+	Histograms []HistSnapshot `json:"histograms"`
+	HotPages   []HotCount     `json:"hot_pages"`
+	HotGroups  []HotCount     `json:"hot_groups"`
+
+	TraceEvents uint64            `json:"trace_events"`
+	TraceDigest string            `json:"trace_digest"`
+	TraceByKind map[string]uint64 `json:"trace_by_kind,omitempty"`
+}
+
+// Snapshot copies the current state of every metric, the hot maps, and the
+// tracer's totals (not its event window).
+func (t *Telemetry) Snapshot() Snapshot {
+	var s Snapshot
+
+	t.mu.Lock()
+	for _, c := range t.counters {
+		s.Counters = append(s.Counters, MetricValue{Name: c.name, Value: float64(c.Value()), TimeBase: c.timeBase})
+	}
+	for _, g := range t.gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: g.name, Value: g.Value()})
+	}
+	hists := make([]*Histogram, 0, len(t.hists))
+	for _, h := range t.hists {
+		hists = append(hists, h)
+	}
+	t.mu.Unlock()
+
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, h := range hists {
+		h.mu.Lock()
+		hs := HistSnapshot{
+			Name:     h.name,
+			Bounds:   append([]float64(nil), h.bounds...),
+			Counts:   append([]uint64(nil), h.counts...),
+			Count:    h.count,
+			Sum:      h.sum,
+			TimeBase: h.timeBase,
+		}
+		h.mu.Unlock()
+		s.Histograms = append(s.Histograms, hs)
+	}
+
+	t.hotMu.Lock()
+	s.HotPages = hotCounts(t.hotPages)
+	s.HotGroups = hotCounts(t.hotGroups)
+	t.hotMu.Unlock()
+
+	if t.trace != nil {
+		s.TraceEvents = t.trace.Len()
+		s.TraceDigest = fmt.Sprintf("%016x", t.trace.Digest())
+		s.TraceByKind = t.trace.CountByKind()
+	}
+	return s
+}
+
+// Canonical returns a copy with every host-clock-derived value zeroed
+// (time-based counters and histograms), so two runs of the same workload
+// produce byte-identical canonical snapshots for golden comparison.
+func (s Snapshot) Canonical() Snapshot {
+	out := s
+	out.Counters = append([]MetricValue(nil), s.Counters...)
+	for i := range out.Counters {
+		if out.Counters[i].TimeBase {
+			out.Counters[i].Value = 0
+		}
+	}
+	out.Histograms = append([]HistSnapshot(nil), s.Histograms...)
+	for i := range out.Histograms {
+		h := &out.Histograms[i]
+		if !h.TimeBase {
+			continue
+		}
+		h.Counts = make([]uint64, len(h.Counts))
+		h.Count = 0
+		h.Sum = 0
+	}
+	return out
+}
+
+// JSON renders the snapshot as compact JSON with stable field order.
+func (s Snapshot) JSON() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf("{\"error\":%q}", err.Error())
+	}
+	return string(b)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (one family per metric; histograms with cumulative _bucket series).
+// Metric names are sanitized: '-' and '/' become '_'.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", n, n, promFloat(c.Value))
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count)
+	}
+	if s.TraceEvents > 0 || s.TraceDigest != "" {
+		fmt.Fprintf(&b, "# TYPE daisy_trace_events_total counter\ndaisy_trace_events_total %d\n", s.TraceEvents)
+		kinds := make([]string, 0, len(s.TraceByKind))
+		for k := range s.TraceByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "daisy_trace_events_total{kind=%q} %d\n", k, s.TraceByKind[k])
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+// Canonical metric names. The VMM probe registers these; daisy-top and the
+// docs refer to them by name, so they live in one place.
+const (
+	// Counters mirroring the machine's deterministic progress.
+	MBaseInsts   = "daisy_base_insts"
+	MInterpInsts = "daisy_interp_insts"
+	MVLIWs       = "daisy_vliws"
+	MCycles      = "daisy_cycles"
+
+	// Translation activity.
+	MPagesBuilt   = "daisy_pages_built"
+	MGroupsBuilt  = "daisy_groups_built"
+	MEntriesBuilt = "daisy_entries_built"
+	MTranslateNs  = "daisy_translate_ns" // host clock; zeroed by Canonical
+	MExecuteNs    = "daisy_execute_ns"   // host clock; zeroed by Canonical
+
+	// Dispatch and chaining.
+	MDispatchesSampled = "daisy_dispatches_sampled"
+	MChainPatches      = "daisy_chain_patches"
+	MChainFollows      = "daisy_chain_follows"
+
+	// Robustness machinery.
+	MExceptions         = "daisy_exceptions"
+	MSMCInvalidations   = "daisy_smc_invalidations"
+	MCastOuts           = "daisy_cast_outs"
+	MQuarantines        = "daisy_quarantines"
+	MQuarantineReleases = "daisy_quarantine_releases"
+
+	// Histograms.
+	HILPPerGroup       = "daisy_ilp_per_group"        // base insts / VLIWs per sampled group run
+	HVLIWsPerGroup     = "daisy_vliws_per_group"      // VLIWs executed per sampled group run
+	HTransNsPerInst    = "daisy_translate_ns_per_inst" // host clock; zeroed by Canonical
+	HChainRunLen       = "daisy_chain_run_len"         // groups chained per dispatch without VMM round-trip
+	HQuarantineDwell   = "daisy_quarantine_dwell"      // base insts a page spent quarantined
+)
+
+// Default histogram bounds (last bucket +Inf is implicit).
+var (
+	BoundsILP       = []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8}
+	BoundsVLIWs     = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+	BoundsNsPerInst = []float64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000}
+	BoundsChainRun  = []float64{1, 2, 3, 4, 6, 8, 12, 16, 32}
+	BoundsDwell     = []float64{1000, 3000, 10000, 30000, 100000, 300000, 1e6, 3e6}
+)

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// StartCPUProfile begins a pprof CPU profile to path and returns a stop
+// function; call it (usually via defer) to flush and close the file.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path (after a GC, so the
+// profile reflects live objects rather than garbage).
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// PeriodicSnapshots writes a canonical-ordered snapshot line to w every
+// interval until the returned stop function is called. Lines are prefixed
+// with the elapsed duration. Used by the cmd tools' -snapshot-every flag.
+func PeriodicSnapshots(t *Telemetry, w io.Writer, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintf(w, "[%8.3fs] %s\n", time.Since(start).Seconds(), t.Snapshot().JSON())
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -18,6 +18,19 @@ type Stats struct {
 	Rollbacks uint64 // VLIWs rolled back (exceptions + aliases)
 }
 
+// Sub returns the field-wise difference s - o: the executor work done
+// between two snapshots (telemetry's per-dispatch-run accounting).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		VLIWs:     s.VLIWs - o.VLIWs,
+		BaseInsts: s.BaseInsts - o.BaseInsts,
+		Loads:     s.Loads - o.Loads,
+		Stores:    s.Stores - o.Stores,
+		Aliases:   s.Aliases - o.Aliases,
+		Rollbacks: s.Rollbacks - o.Rollbacks,
+	}
+}
+
 // Fault reports that a VLIW could not complete. The register file has been
 // rolled back to the VLIW's entry state, which by construction is a precise
 // base-instruction boundary; execution resumes by interpreting from Resume.

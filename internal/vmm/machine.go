@@ -198,6 +198,10 @@ type Machine struct {
 	curGroup *vliw.Group
 	maxInsts uint64
 
+	// tp is the attached telemetry probe (nil when telemetry is off; see
+	// telemetry.go — every hot-path site is a single nil check).
+	tp *telProbe
+
 	// scanBuf is the reused node buffer for expanding the executor's step
 	// log on the (rare) fault-scan path.
 	scanBuf []*vliw.Node
@@ -328,7 +332,7 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 		m.touch(base)
 		return pt, nil
 	}
-	before := m.Trans.Stats.Groups
+	before := m.Trans.Stats
 	var pt *core.PageTranslation
 	var err error
 	if m.Opt.Interpretive {
@@ -340,7 +344,10 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 		return nil, err
 	}
 	m.Stats.PagesBuilt++
-	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before
+	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before.Groups
+	if m.tp != nil {
+		m.tp.translated(m, addr, before)
+	}
 	if m.OnTranslate != nil {
 		m.OnTranslate(pt)
 	}
@@ -366,6 +373,9 @@ func (m *Machine) castOut() {
 		}
 		m.invalidate(victim)
 		m.Stats.CastOuts++
+		if m.tp != nil {
+			m.tp.castOut(m, victim)
+		}
 	}
 }
 
@@ -439,7 +449,7 @@ func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
 	if g, ok := pt.Groups[addr]; ok {
 		return g, nil
 	}
-	before := m.Trans.Stats.Groups
+	before := m.Trans.Stats
 	var g *vliw.Group
 	if m.Opt.Interpretive {
 		g, err = m.Trans.EnsureEntryGuided(pt, addr, m.recordTrace(addr))
@@ -450,7 +460,10 @@ func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
 		return nil, err
 	}
 	m.Stats.EntriesBuilt++
-	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before
+	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before.Groups
+	if m.tp != nil {
+		m.tp.translated(m, addr, before)
+	}
 	if m.OnTranslate != nil {
 		m.OnTranslate(pt)
 	}
@@ -499,6 +512,16 @@ func (m *Machine) recordTrace(entry uint32) func(pc uint32) (bool, bool) {
 // instead of after every VLIW; checkBudget reads the live executor
 // counter directly.
 func (m *Machine) runGroup() (bool, error) {
+	if m.tp != nil && m.tp.sampleDispatch() {
+		startPC := m.St.PC
+		beforeExec := m.Exec.Stats
+		beforeFollows := m.Stats.ChainFollows
+		halt, err := m.runGroupLoop()
+		m.Stats.Exec = m.Exec.Stats
+		d := m.Exec.Stats.Sub(beforeExec)
+		m.tp.dispatchRun(m, startPC, d.BaseInsts, d.VLIWs, m.Stats.ChainFollows-beforeFollows)
+		return halt, err
+	}
 	halt, err := m.runGroupLoop()
 	m.Stats.Exec = m.Exec.Stats
 	return halt, err
@@ -524,6 +547,7 @@ func (m *Machine) runGroupLoop() (bool, error) {
 	m.checkpoint(g.Entry)
 	v := g.VLIWs[0]
 	chainOK := m.chainingEnabled()
+	runStart := m.Exec.Stats.BaseInsts // virtual-clock origin of this dispatch run
 
 	for {
 		if err := m.checkBudget(); err != nil {
@@ -547,6 +571,9 @@ func (m *Machine) runGroupLoop() (bool, error) {
 		if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions && exit.Kind != vliw.ExitSyscall {
 			m.Stats.Exec = m.Exec.Stats
 			m.OnBoundary(m.Stats.BaseInsts())
+		}
+		if m.tp != nil && exit.Kind != vliw.ExitSyscall {
+			m.tp.boundary(m, v.EntryBase, m.Exec.Stats.BaseInsts-runStart)
 		}
 
 		switch exit.Kind {
@@ -596,6 +623,9 @@ func (m *Machine) runGroupLoop() (bool, error) {
 					if leaf != nil && leaf.Exit.Kind == vliw.ExitEntry && leaf.Exit.Chain == nil {
 						leaf.Exit.Chain = ng
 						m.Stats.ChainPatches++
+						if m.tp != nil {
+							m.tp.chainPatched(m, ng.Entry)
+						}
 					}
 				}
 			}
@@ -690,6 +720,9 @@ func (m *Machine) recover(f *vliw.Fault) (bool, error) {
 		} else if !f.CodeMod {
 			m.Stats.Exceptions++
 		}
+		if m.tp != nil {
+			m.tp.exception(m, f, faultArg(f))
+		}
 		m.Exec.Journal.Undo(m.Mem)
 		m.Exec.RF = m.ckptRF
 		m.St.PC = m.ckptPC
@@ -712,8 +745,23 @@ func (m *Machine) recover(f *vliw.Fault) (bool, error) {
 			m.OnFault(f, scanPC)
 		}
 	}
+	if m.tp != nil {
+		m.tp.exception(m, f, faultArg(f))
+	}
 	m.St.PC = f.Resume
 	return false, m.interpret()
+}
+
+// faultArg encodes a fault's class for the trace event stream.
+func faultArg(f *vliw.Fault) uint64 {
+	switch {
+	case f.CodeMod:
+		return 2
+	case f.Alias:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // noteGroupTrouble charges a recovery event against the current group's
@@ -801,6 +849,9 @@ func (m *Machine) drainDirty() bool {
 	for b := range m.dirty {
 		m.invalidate(b)
 		m.Stats.SMCInvalidations++
+		if m.tp != nil {
+			m.tp.smcInvalidate(m, b)
+		}
 		m.noteTrouble(b)
 		delete(m.dirty, b)
 	}

@@ -16,9 +16,10 @@ package vmm
 
 // quarState tracks translation trouble for one page.
 type quarState struct {
-	events  []uint64 // completion-time stamps of recent trouble events
-	until   uint64   // interpret-only while BaseInsts() < until (0 = free)
-	backoff uint64   // current backoff span; doubles on each re-engage
+	events    []uint64 // completion-time stamps of recent trouble events
+	until     uint64   // interpret-only while BaseInsts() < until (0 = free)
+	backoff   uint64   // current backoff span; doubles on each re-engage
+	engagedAt uint64   // BaseInsts() when the quarantine engaged (dwell base)
 }
 
 // noteTrouble records one translation-trouble event (an SMC invalidation,
@@ -62,9 +63,13 @@ func (m *Machine) noteTrouble(base uint32) {
 		q.backoff *= 2
 	}
 	q.until = now + q.backoff
+	q.engagedAt = now
 	q.events = q.events[:0]
 	m.Stats.Quarantines++
 	m.invalidate(base)
+	if m.tp != nil {
+		m.tp.quarantined(m, base, q.backoff)
+	}
 }
 
 // pageQuarantined reports whether the page holding addr is currently in
@@ -81,6 +86,9 @@ func (m *Machine) pageQuarantined(addr uint32) bool {
 	if m.Stats.BaseInsts() >= q.until {
 		q.until = 0
 		m.Stats.QuarantineReleases++
+		if m.tp != nil {
+			m.tp.quarantineReleased(m, base, m.Stats.BaseInsts()-q.engagedAt)
+		}
 		return false
 	}
 	return true

@@ -1,0 +1,222 @@
+package vmm
+
+// Telemetry wiring. The Machine carries at most one telProbe; every
+// instrumentation site in the hot path is a single `m.tp != nil` check, so
+// an unattached machine pays one predictable branch and zero allocations.
+//
+// The probe deliberately does NOT use the OnGroupStart/OnBoundary/FaultHook
+// /AliasHook observation seams: installing any of those disables group
+// chaining (chainingEnabled), and telemetry must observe the machine
+// without changing what it does. Rare events (translation, exceptions, SMC,
+// cast-out, quarantine) are recorded unconditionally; per-dispatch and
+// per-boundary instrumentation is sampled 1-in-N.
+
+import (
+	"time"
+
+	"daisy/internal/core"
+	"daisy/internal/telemetry"
+	"daisy/internal/vliw"
+)
+
+// telProbe holds pre-resolved metric handles plus sampling countdowns, so
+// the instrumented paths never take the registry lock.
+type telProbe struct {
+	tel         *telemetry.Telemetry
+	sampleEvery uint64
+	dispatchCD  uint64 // countdown to the next sampled dispatch
+	boundaryCD  uint64 // countdown to the next sampled boundary event
+	attached    time.Time
+
+	hILP      *telemetry.Histogram
+	hVLIWs    *telemetry.Histogram
+	hTransNs  *telemetry.Histogram
+	hChainRun *telemetry.Histogram
+	hDwell    *telemetry.Histogram
+
+	cDispatches *telemetry.Counter
+	cTransNs    *telemetry.Counter
+	cExecNs     *telemetry.Counter
+
+	// Mirrored Stats counters: prev holds the value already pushed, so a
+	// sync adds only the delta (counters are monotonic).
+	mirror []statMirror
+}
+
+type statMirror struct {
+	c    *telemetry.Counter
+	read func(*Machine) uint64
+	prev uint64
+}
+
+// AttachTelemetry connects a telemetry instance to the machine. Call once,
+// before Run/Start; attach nil to detach.
+func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		m.tp = nil
+		return
+	}
+	n := uint64(tel.SampleEvery())
+	p := &telProbe{
+		tel:         tel,
+		sampleEvery: n,
+		dispatchCD:  1, // sample the first dispatch so short runs observe something
+		boundaryCD:  n,
+		attached:    time.Now(),
+
+		hILP:      tel.Histogram(telemetry.HILPPerGroup, telemetry.BoundsILP),
+		hVLIWs:    tel.Histogram(telemetry.HVLIWsPerGroup, telemetry.BoundsVLIWs),
+		hTransNs:  tel.TimeHistogram(telemetry.HTransNsPerInst, telemetry.BoundsNsPerInst),
+		hChainRun: tel.Histogram(telemetry.HChainRunLen, telemetry.BoundsChainRun),
+		hDwell:    tel.Histogram(telemetry.HQuarantineDwell, telemetry.BoundsDwell),
+
+		cDispatches: tel.Counter(telemetry.MDispatchesSampled),
+		cTransNs:    tel.TimeCounter(telemetry.MTranslateNs),
+		cExecNs:     tel.TimeCounter(telemetry.MExecuteNs),
+	}
+	mk := func(name string, read func(*Machine) uint64) {
+		p.mirror = append(p.mirror, statMirror{c: tel.Counter(name), read: read})
+	}
+	mk(telemetry.MBaseInsts, func(m *Machine) uint64 { return m.Exec.Stats.BaseInsts })
+	mk(telemetry.MInterpInsts, func(m *Machine) uint64 { return m.Stats.InterpInsts })
+	mk(telemetry.MVLIWs, func(m *Machine) uint64 { return m.Exec.Stats.VLIWs })
+	mk(telemetry.MCycles, func(m *Machine) uint64 { return m.Stats.Cycles })
+	mk(telemetry.MPagesBuilt, func(m *Machine) uint64 { return m.Stats.PagesBuilt })
+	mk(telemetry.MGroupsBuilt, func(m *Machine) uint64 { return m.Stats.GroupsBuilt })
+	mk(telemetry.MEntriesBuilt, func(m *Machine) uint64 { return m.Stats.EntriesBuilt })
+	mk(telemetry.MChainPatches, func(m *Machine) uint64 { return m.Stats.ChainPatches })
+	mk(telemetry.MChainFollows, func(m *Machine) uint64 { return m.Stats.ChainFollows })
+	mk(telemetry.MExceptions, func(m *Machine) uint64 { return m.Stats.Exceptions })
+	mk(telemetry.MSMCInvalidations, func(m *Machine) uint64 { return m.Stats.SMCInvalidations })
+	mk(telemetry.MCastOuts, func(m *Machine) uint64 { return m.Stats.CastOuts })
+	mk(telemetry.MQuarantines, func(m *Machine) uint64 { return m.Stats.Quarantines })
+	mk(telemetry.MQuarantineReleases, func(m *Machine) uint64 { return m.Stats.QuarantineReleases })
+	m.tp = p
+}
+
+// Telemetry returns the attached instance, or nil.
+func (m *Machine) Telemetry() *telemetry.Telemetry {
+	if m.tp == nil {
+		return nil
+	}
+	return m.tp.tel
+}
+
+// SyncTelemetry pushes the machine's counters into the attached registry
+// and updates the translate-vs-execute time split. The cmd tools call it
+// after Run (and the periodic snapshotter's readers see whatever the last
+// sampled dispatch pushed in between).
+func (m *Machine) SyncTelemetry() {
+	if m.tp == nil {
+		return
+	}
+	m.tp.syncStats(m)
+	elapsed := uint64(time.Since(m.tp.attached).Nanoseconds())
+	trans := m.tp.cTransNs.Value()
+	exec := uint64(0)
+	if elapsed > trans {
+		exec = elapsed - trans
+	}
+	if cur := m.tp.cExecNs.Value(); exec > cur {
+		m.tp.cExecNs.Add(exec - cur)
+	}
+}
+
+// instClock is the machine's deterministic virtual clock: total completed
+// base instructions. Trace events are stamped with it so identical runs
+// produce identical traces.
+func (m *Machine) instClock() uint64 {
+	return m.Exec.Stats.BaseInsts + m.Stats.InterpInsts
+}
+
+func (p *telProbe) syncStats(m *Machine) {
+	for i := range p.mirror {
+		s := &p.mirror[i]
+		if cur := s.read(m); cur > s.prev {
+			s.c.Add(cur - s.prev)
+			s.prev = cur
+		}
+	}
+}
+
+// sampleDispatch decides whether this dispatch is the 1-in-N observed one.
+func (p *telProbe) sampleDispatch() bool {
+	p.dispatchCD--
+	if p.dispatchCD > 0 {
+		return false
+	}
+	p.dispatchCD = p.sampleEvery
+	return true
+}
+
+// dispatchRun records one sampled dispatch run: the group(s) executed
+// between entering runGroupLoop and returning to the VMM. delta* are the
+// executor-stat deltas across the run.
+func (p *telProbe) dispatchRun(m *Machine, startPC uint32, dBase, dVLIWs, dFollows uint64) {
+	p.cDispatches.Inc()
+	base := startPC &^ (m.Trans.Opt.PageSize - 1)
+	p.tel.NotePage(base)
+	p.tel.NoteGroup(startPC)
+	if dVLIWs > 0 {
+		p.hILP.Observe(float64(dBase) / float64(dVLIWs))
+		p.hVLIWs.Observe(float64(dVLIWs))
+	}
+	p.hChainRun.Observe(float64(1 + dFollows))
+	p.tel.Event(telemetry.EvDispatch, m.instClock(), startPC, base, p.sampleEvery)
+	if dFollows > 0 {
+		p.tel.Event(telemetry.EvChainFollow, m.instClock(), startPC, base, dFollows)
+	}
+	p.syncStats(m)
+}
+
+// boundary records a sampled precise-boundary event from the per-VLIW loop.
+// The countdown keeps the unsampled cost to one decrement.
+func (p *telProbe) boundary(m *Machine, pc uint32, groupInsts uint64) {
+	p.boundaryCD--
+	if p.boundaryCD > 0 {
+		return
+	}
+	p.boundaryCD = p.sampleEvery
+	p.tel.Event(telemetry.EvBoundary, m.instClock(), pc, pc&^(m.Trans.Opt.PageSize-1), groupInsts)
+}
+
+// translated records one translation burst (a page build or an entry
+// extension): dNanos host-nanoseconds spent translating dInsts base
+// instructions into groups.
+func (p *telProbe) translated(m *Machine, addr uint32, before core.Stats) {
+	d := m.Trans.Stats.Sub(before)
+	p.cTransNs.Add(uint64(d.Nanos))
+	if d.BaseInsts > 0 {
+		p.hTransNs.Observe(float64(d.Nanos) / float64(d.BaseInsts))
+	}
+	p.tel.Event(telemetry.EvTranslate, m.instClock(), addr, addr&^(m.Trans.Opt.PageSize-1), d.BaseInsts)
+	p.syncStats(m)
+}
+
+// chainPatched records one exit-edge patch (each edge is patched at most
+// once, so this path is rare and recorded unconditionally).
+func (p *telProbe) chainPatched(m *Machine, target uint32) {
+	p.tel.Event(telemetry.EvChainPatch, m.instClock(), target, target&^(m.Trans.Opt.PageSize-1), 0)
+}
+
+// exception records one recovered fault. arg: 0 exception, 1 alias, 2 SMC.
+func (p *telProbe) exception(m *Machine, f *vliw.Fault, arg uint64) {
+	p.tel.Event(telemetry.EvException, m.instClock(), f.Resume, f.Resume&^(m.Trans.Opt.PageSize-1), arg)
+}
+
+func (p *telProbe) smcInvalidate(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvSMCInvalidate, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) castOut(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvCastOut, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) quarantined(m *Machine, base uint32, backoff uint64) {
+	p.tel.Event(telemetry.EvQuarantine, m.instClock(), base, base, backoff)
+}
+
+func (p *telProbe) quarantineReleased(m *Machine, base uint32, dwell uint64) {
+	p.hDwell.Observe(float64(dwell))
+	p.tel.Event(telemetry.EvQuarantineOff, m.instClock(), base, base, dwell)
+}
