@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot chaos-smoke bench-smoke cover cover-update ci bench benchcmp experiments
+.PHONY: all build test vet race race-hot race-async chaos-smoke bench-smoke cover cover-update ci bench benchcmp experiments
 
 all: build
 
@@ -22,6 +22,14 @@ race:
 # machinery, so they get an explicit -race pass in CI.
 race-hot:
 	$(GO) test -race ./internal/chaos/... ./internal/experiments/...
+
+# The asynchronous-translation gates: the soak that runs every workload
+# with the worker pool on (under -race, it checks the machine/worker
+# seam), the staleness/backpressure tests, and the persistent-cache
+# round-trip and damage-fallback tests.
+race-async:
+	$(GO) test -race ./internal/vmm -run 'TestAsync|TestWarmCache|TestCache'
+	$(GO) test -race ./internal/txcache
 
 # Short deterministic chaos pass: every workload under every injector,
 # fixed seeds, so CI failures are replayable with the printed triple.
@@ -46,7 +54,7 @@ cover-update:
 	$(GO) run ./cmd/daisy-cover -profile cover.out -update
 	@echo "commit COVERAGE.txt to ratchet the floor"
 
-ci: vet build race race-hot chaos-smoke bench-smoke cover
+ci: vet build race race-hot race-async chaos-smoke bench-smoke cover
 
 # Run the full benchmark suite once and archive the parsed metrics as a
 # dated JSON snapshot — the repository's perf trajectory. Compare two

@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		scale = flag.Int("scale", 2, "benchmark input scale")
-		only  = flag.String("only", "", "comma-separated experiment ids (t51..t59, f51..f55, cost, oracle, ablate)")
+		only  = flag.String("only", "", "comma-separated experiment ids (t51..t59, f51..f55, cost, oracle, ablate, pipeline)")
 	)
 	ob := obs.Register()
 	flag.Parse()
@@ -88,6 +88,7 @@ func run(scale int, only string) error {
 		{"oracle", r.OracleTable},
 		{"trace", r.InterpretiveTable},
 		{"ablate", func() (*stats.Table, error) { return r.Ablations("c_sieve") }},
+		{"pipeline", r.PipelineTable},
 	}
 	for _, e := range exps {
 		if !want(e.id) {

@@ -35,6 +35,8 @@ func main() {
 		dump       = flag.Bool("dump", false, "dump the entry group's tree VLIWs before running")
 		memMB      = flag.Uint("mem", 8, "physical memory size in MiB")
 		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
+		async      = flag.Bool("async", false, "translate asynchronously on a worker pool (hot pages only)")
+		cacheDir   = flag.String("txcache", "", "persistent translation cache directory (created if missing)")
 	)
 	ob := obs.Register()
 	flag.Parse()
@@ -47,14 +49,15 @@ func main() {
 		return
 	}
 	if err := run(*configName, uint32(*pageSize), *wl, *scale, *inputFile,
-		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, ob, flag.Args()); err != nil {
+		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, *async, *cacheDir, ob, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-run:", err)
 		os.Exit(1)
 	}
 }
 
 func run(configName string, pageSize uint32, wl string, scale int, inputFile string,
-	useInterp, check, dump bool, memSize uint32, maxInsts uint64, ob *obs.Flags, args []string) error {
+	useInterp, check, dump bool, memSize uint32, maxInsts uint64,
+	async bool, cacheDir string, ob *obs.Flags, args []string) error {
 
 	cfg, err := vliw.ConfigByName(configName)
 	if err != nil {
@@ -93,6 +96,14 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 	opt := daisy.DefaultOptions()
 	opt.Trans.Config = cfg
 	opt.Trans.PageSize = pageSize
+	opt.AsyncTranslate = async
+	if cacheDir != "" {
+		cache, err := daisy.OpenTranslationCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = cache
+	}
 
 	if dump {
 		m := daisy.NewMemory(memSize)
@@ -132,6 +143,7 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 	}
 	env := &daisy.Env{In: input}
 	ma := daisy.NewMachine(m, env, opt)
+	defer ma.Close()
 	tel, finish, err := ob.Setup()
 	if err != nil {
 		return err
@@ -155,6 +167,14 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 	fmt.Fprintf(os.Stderr, "[daisy] pages %d, groups %d, interp insts %d, aliases %d, cross-page %d/%d/%d (direct/lr/ctr)\n",
 		s.PagesBuilt, s.GroupsBuilt, s.InterpInsts, s.Exec.Aliases,
 		s.CrossDirect, s.CrossLR, s.CrossCTR)
+	if async {
+		fmt.Fprintf(os.Stderr, "[daisy] async: enqueued %d, published %d, pushed back %d, stale dropped %d\n",
+			s.AsyncEnqueues, s.AsyncPublishes, s.AsyncQueueFull, s.StaleTranslationsDropped)
+	}
+	if opt.Cache != nil {
+		fmt.Fprintf(os.Stderr, "[daisy] txcache: hits %d, misses %d, stores %d (%s)\n",
+			s.CacheHits, s.CacheMisses, s.CacheStores, opt.Cache.Dir())
+	}
 
 	if check {
 		if !bytes.Equal(interpOut, env.Out) {

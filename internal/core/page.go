@@ -20,6 +20,13 @@ type PageTranslation struct {
 	Base   uint32 // base-architecture page address
 	Groups map[uint32]*vliw.Group
 
+	// Order lists the group entries in the order the page layout placed
+	// them. Groups is a map, so this is the only record of layout order —
+	// the persistent translation cache serializes groups in it and
+	// re-adopts them in it, making the reloaded page's translated-code
+	// addresses identical to the original's.
+	Order []uint32
+
 	// CodeBytes is the total encoded VLIW code for the page (Table 5.1's
 	// "average size of translated page" and Figure 5.4).
 	CodeBytes int
@@ -110,6 +117,15 @@ func (t *Translator) EnsureEntry(pt *PageTranslation, entry uint32) (*vliw.Group
 	return first, nil
 }
 
+// Adopt installs an externally produced group — decoded from the
+// persistent translation cache, or built by an async worker's private
+// translator — into pt exactly as a freshly translated group would be:
+// recorded in layout order and assigned translated-code-area addresses.
+func (t *Translator) Adopt(pt *PageTranslation, g *vliw.Group) {
+	pt.Groups[g.Entry] = g
+	t.layout(pt, g)
+}
+
 // Unchain severs every group-chaining link recorded on the page's exit
 // edges. The VMM calls it whenever the page's translation is destroyed —
 // SMC invalidation, LRU cast-out, quarantine, adaptive retranslation — so
@@ -171,4 +187,5 @@ func (t *Translator) layout(pt *PageTranslation, g *vliw.Group) {
 	}
 	pt.nextOff = off
 	pt.CodeBytes += size
+	pt.Order = append(pt.Order, g.Entry)
 }

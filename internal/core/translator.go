@@ -132,6 +132,23 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Add returns the field-wise sum s + o: used to merge the stats of a
+// worker translator (the async pipeline translates pages on private
+// Translator instances over page snapshots) into the machine's totals at
+// publish time.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Groups:     s.Groups + o.Groups,
+		BaseInsts:  s.BaseInsts + o.BaseInsts,
+		Parcels:    s.Parcels + o.Parcels,
+		VLIWs:      s.VLIWs + o.VLIWs,
+		CodeBytes:  s.CodeBytes + o.CodeBytes,
+		WorkUnits:  s.WorkUnits + o.WorkUnits,
+		PathClones: s.PathClones + o.PathClones,
+		Nanos:      s.Nanos + o.Nanos,
+	}
+}
+
 // Translator converts base-architecture binary code to VLIW groups.
 type Translator struct {
 	Mem *mem.Memory

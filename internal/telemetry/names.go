@@ -28,6 +28,18 @@ const (
 	MQuarantines        = "daisy_quarantines"
 	MQuarantineReleases = "daisy_quarantine_releases"
 
+	// Asynchronous translation pipeline.
+	MAsyncEnqueues  = "daisy_async_enqueues"
+	MAsyncPublishes = "daisy_async_publishes"
+	MAsyncQueueFull = "daisy_async_queue_full"
+	MAsyncStale     = "daisy_async_stale_dropped"
+	GAsyncQueue     = "daisy_async_queue_depth" // gauge: queued + in-flight pages
+
+	// Persistent translation cache.
+	MCacheHits   = "daisy_txcache_hits"
+	MCacheMisses = "daisy_txcache_misses"
+	MCacheStores = "daisy_txcache_stores"
+
 	// Histograms.
 	HILPPerGroup       = "daisy_ilp_per_group"        // base insts / VLIWs per sampled group run
 	HVLIWsPerGroup     = "daisy_vliws_per_group"      // VLIWs executed per sampled group run

@@ -20,12 +20,17 @@ const (
 	EvCastOut                    // page evicted by LRU cast-out
 	EvQuarantine                 // page entered interpret-only quarantine; Arg = backoff window
 	EvQuarantineOff              // page released from quarantine; Arg = dwell (base insts)
+	EvAsyncEnqueue               // page handed to the async translator pool
+	EvAsyncPublish               // async translation published at a precise boundary
+	EvAsyncStale                 // in-flight result dropped by epoch/digest check
+	EvCacheHit                   // page installed from the persistent translation cache
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
 	"translate", "dispatch", "chain-patch", "chain-follow", "boundary",
 	"exception", "smc-invalidate", "cast-out", "quarantine", "quarantine-release",
+	"async-enqueue", "async-publish", "async-stale", "cache-hit",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,370 @@
+// Package txcache implements DAISY's persistent cross-run translation
+// cache. The paper's dominant cost is translation itself (§4.4 measures
+// ~4315 host instructions per base instruction), and §5.1's analytic
+// model shows that cost is only viable when amortized across reuse.
+// Re-running the same binary re-pays it from scratch, so this package
+// stores finished translations content-addressed by what they are a pure
+// function of: the page's bytes, the page's base address (groups encode
+// absolute targets), and the translator options that shaped the schedule.
+//
+// Entries serialize each group through the existing internal/vliw binary
+// encoding (the same representation the code-expansion tables measure)
+// plus a small header carrying the group order the page layout used, so a
+// reloaded page is laid out address-for-address like the original. Every
+// load is validated structurally: a checksum over the file, a format
+// version, a full key echo, and a clean decode of every group (the test
+// wall additionally asserts byte-identical re-encode, so a decode that
+// succeeds is known to reproduce the stored bytes). Anything that fails —
+// a corrupt entry, a version bump, a truncated write — degrades to a
+// cache miss and a fresh translation, never an error on the execution
+// path.
+package txcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"daisy/internal/vliw"
+)
+
+// Version is the on-disk format version. Bump it whenever the entry
+// layout or the vliw binary encoding changes shape; old entries then read
+// as version-skew misses and are re-translated rather than misdecoded.
+const Version = 1
+
+const magic = 0x44545831 // "DTX1"
+
+// Key addresses one page translation. Translation output is a pure
+// function of the three fields (given a fixed translator version), which
+// is what makes the cache safe to share across runs and across binaries
+// that happen to map identical code at the same address.
+type Key struct {
+	PageBase uint32   // base-architecture page address
+	OptFP    uint64   // fingerprint of the translator options (Fingerprint)
+	Digest   [32]byte // SHA-256 of the page's bytes at translation time
+}
+
+// filename is the content address: every field of the key appears, so
+// distinct keys can never collide on a path.
+func (k Key) filename() string {
+	return fmt.Sprintf("%08x-%016x-%x.dtx", k.PageBase, k.OptFP, k.Digest)
+}
+
+// Stats counts cache outcomes. Corrupt and VersionSkew are subsets of
+// Misses: a bad entry counts both.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Stores      uint64
+	Corrupt     uint64 // checksum/decode/validation failures
+	VersionSkew uint64 // format-version or key mismatches
+}
+
+// Store is a translation cache. With a directory it persists across
+// runs; OpenMemory gives a process-local store with identical semantics
+// (the encode/decode/validate path is shared) for tests and benchmarks.
+//
+// A Store is safe for concurrent use by multiple machines.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string][]byte // in-memory entries when dir == ""
+	st  Stats
+}
+
+// Open returns a persistent store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("txcache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// OpenMemory returns a store that lives only in this process.
+func OpenMemory() *Store {
+	return &Store{mem: make(map[string][]byte)}
+}
+
+// Dir returns the backing directory ("" for an in-memory store).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// Len reports the number of entries currently readable from the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return len(s.mem)
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".dtx" {
+			n++
+		}
+	}
+	return n
+}
+
+// Fingerprint hashes an options-description string into the OptFP key
+// field. Callers must fold in every option that can change the emitted
+// schedule; the format Version is folded in here so a format bump
+// invalidates by key as well as by header.
+func Fingerprint(desc string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%s", Version, desc)
+	return h.Sum64()
+}
+
+// Save serializes groups (in page-layout order) under k. BaseInsts and
+// Parcels ride alongside each group's binary code because the vliw
+// encoding intentionally omits them (they are statistics, not semantics).
+func (s *Store) Save(k Key, groups []*vliw.Group) error {
+	var payload []byte
+	payload = binary.BigEndian.AppendUint32(payload, magic)
+	payload = binary.BigEndian.AppendUint16(payload, Version)
+	payload = binary.BigEndian.AppendUint64(payload, k.OptFP)
+	payload = binary.BigEndian.AppendUint32(payload, k.PageBase)
+	payload = append(payload, k.Digest[:]...)
+	payload = binary.BigEndian.AppendUint16(payload, uint16(len(groups)))
+	for _, g := range groups {
+		code, err := vliw.EncodeGroup(g)
+		if err != nil {
+			return fmt.Errorf("txcache: encode group %#x: %w", g.Entry, err)
+		}
+		payload = binary.BigEndian.AppendUint32(payload, g.Entry)
+		payload = binary.BigEndian.AppendUint32(payload, uint32(g.BaseInsts))
+		payload = binary.BigEndian.AppendUint32(payload, uint32(g.Parcels))
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(code)))
+		payload = append(payload, code...)
+	}
+	payload = binary.BigEndian.AppendUint32(payload, crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		s.mem[k.filename()] = payload
+		s.st.Stores++
+		return nil
+	}
+	// Write-rename so a crashed run leaves either the old entry or the new
+	// one, never a torn file (a torn file would only cost a miss anyway).
+	final := filepath.Join(s.dir, k.filename())
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+		return fmt.Errorf("txcache: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("txcache: %w", err)
+	}
+	s.st.Stores++
+	return nil
+}
+
+// Load returns the cached groups for k in their original layout order,
+// or ok=false on any miss — absent, corrupt, version-skewed or failing
+// validation. It never returns an error: a bad cache entry must degrade
+// to a fresh translation, not take the machine down.
+func (s *Store) Load(k Key) (groups []*vliw.Group, ok bool) {
+	s.mu.Lock()
+	var payload []byte
+	if s.dir == "" {
+		payload = s.mem[k.filename()]
+	} else {
+		payload, _ = os.ReadFile(filepath.Join(s.dir, k.filename()))
+	}
+	s.mu.Unlock()
+	if payload == nil {
+		s.miss(nil)
+		return nil, false
+	}
+	groups, reason := decodeEntry(k, payload)
+	if reason != missNone {
+		s.miss(&reason)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.st.Hits++
+	s.mu.Unlock()
+	return groups, true
+}
+
+type missReason int
+
+const (
+	missNone missReason = iota
+	missCorrupt
+	missVersion
+)
+
+func (s *Store) miss(r *missReason) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Misses++
+	if r == nil {
+		return
+	}
+	switch *r {
+	case missCorrupt:
+		s.st.Corrupt++
+	case missVersion:
+		s.st.VersionSkew++
+	}
+}
+
+// decodeEntry parses and fully validates one serialized entry.
+func decodeEntry(k Key, payload []byte) ([]*vliw.Group, missReason) {
+	const header = 4 + 2 + 8 + 4 + 32 + 2
+	if len(payload) < header+4 {
+		return nil, missCorrupt
+	}
+	body, sum := payload[:len(payload)-4], payload[len(payload)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(sum) {
+		return nil, missCorrupt
+	}
+	if binary.BigEndian.Uint32(body) != magic {
+		return nil, missCorrupt
+	}
+	if binary.BigEndian.Uint16(body[4:]) != Version {
+		return nil, missVersion
+	}
+	if binary.BigEndian.Uint64(body[6:]) != k.OptFP ||
+		binary.BigEndian.Uint32(body[14:]) != k.PageBase ||
+		!bytes.Equal(body[18:50], k.Digest[:]) {
+		return nil, missVersion
+	}
+	count := int(binary.BigEndian.Uint16(body[50:]))
+	i := header
+	groups := make([]*vliw.Group, 0, count)
+	for n := 0; n < count; n++ {
+		if len(body) < i+16 {
+			return nil, missCorrupt
+		}
+		entry := binary.BigEndian.Uint32(body[i:])
+		baseInsts := binary.BigEndian.Uint32(body[i+4:])
+		parcels := binary.BigEndian.Uint32(body[i+8:])
+		codeLen := int(binary.BigEndian.Uint32(body[i+12:]))
+		i += 16
+		if codeLen < 0 || len(body) < i+codeLen {
+			return nil, missCorrupt
+		}
+		code := body[i : i+codeLen]
+		i += codeLen
+		g, err := vliw.DecodeGroup(code)
+		if err != nil || g.Entry != entry {
+			return nil, missCorrupt
+		}
+		g.BaseInsts = int(baseInsts)
+		g.Parcels = int(parcels)
+		groups = append(groups, g)
+	}
+	if i != len(body) {
+		return nil, missCorrupt
+	}
+	return groups, missNone
+}
+
+// SkewVersion rewrites every stored entry's format version to v and
+// re-checksums it, simulating entries written by a different translator
+// build (fault-injection tests). Returns the number of entries rewritten.
+func (s *Store) SkewVersion(v uint16) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	rewrite := func(b []byte) []byte {
+		if len(b) < 10 {
+			return nil
+		}
+		binary.BigEndian.PutUint16(b[4:], v)
+		body := b[:len(b)-4]
+		binary.BigEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(body))
+		return b
+	}
+	if s.dir == "" {
+		for name, b := range s.mem {
+			if nb := rewrite(b); nb != nil {
+				s.mem[name] = nb
+				n++
+			}
+		}
+		return n
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".dtx" {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if nb := rewrite(b); nb != nil && os.WriteFile(path, nb, 0o644) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Corrupt flips one byte inside every stored entry's group payload (not
+// the trailing checksum), for fault-injection tests. It returns the
+// number of entries damaged.
+func (s *Store) Corrupt() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	damage := func(b []byte) bool {
+		const header = 4 + 2 + 8 + 4 + 32 + 2
+		if len(b) <= header+4 {
+			return false
+		}
+		b[header+8] ^= 0x40 // inside the first group record
+		return true
+	}
+	if s.dir == "" {
+		for name, b := range s.mem {
+			if damage(b) {
+				s.mem[name] = b
+				n++
+			}
+		}
+		return n
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".dtx" {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil || !damage(b) {
+			continue
+		}
+		if os.WriteFile(path, b, 0o644) == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package txcache_test
+
+// Unit tests for the serialization layer itself: byte-exact round-trips
+// through the vliw encoding, key addressing, miss accounting, and
+// cross-Open persistence. The VMM-level behaviour (warm runs, corruption
+// fallback under execution) lives in internal/vmm/cache_test.go.
+
+import (
+	"bytes"
+	"testing"
+
+	"daisy/internal/asm"
+	"daisy/internal/core"
+	"daisy/internal/mem"
+	"daisy/internal/txcache"
+	"daisy/internal/vliw"
+)
+
+// translated builds a real multi-group page translation to serialize.
+func translated(t *testing.T) (*core.PageTranslation, []*vliw.Group) {
+	t.Helper()
+	prog, err := asm.Assemble(`
+_start:	li r3, 0
+	li r4, 10
+loop:	add r3, r3, r4
+	subi r4, r4, 1
+	cmpwi r4, 0
+	bne loop
+	li r0, 0
+	sc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 16)
+	if err := prog.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	tr := core.New(m, core.DefaultOptions())
+	pt, err := tr.TranslatePage(prog.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([]*vliw.Group, 0, len(pt.Order))
+	for _, e := range pt.Order {
+		groups = append(groups, pt.Groups[e])
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups translated")
+	}
+	return pt, groups
+}
+
+func key(pt *core.PageTranslation) txcache.Key {
+	k := txcache.Key{PageBase: pt.Base, OptFP: txcache.Fingerprint("unit-test")}
+	k.Digest[0] = 0xda
+	return k
+}
+
+// TestRoundTrip pins the core contract: what comes back from Load is, in
+// order, count, identity and encoded bytes, exactly what went in.
+func TestRoundTrip(t *testing.T) {
+	pt, groups := translated(t)
+	s := txcache.OpenMemory()
+	k := key(pt)
+	if _, ok := s.Load(k); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Save(k, groups); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(k)
+	if !ok {
+		t.Fatal("miss after save")
+	}
+	if len(got) != len(groups) {
+		t.Fatalf("got %d groups, want %d", len(got), len(groups))
+	}
+	for i, g := range groups {
+		r := got[i]
+		if r.Entry != g.Entry || r.BaseInsts != g.BaseInsts || r.Parcels != g.Parcels {
+			t.Fatalf("group %d identity differs: got {%#x %d %d} want {%#x %d %d}",
+				i, r.Entry, r.BaseInsts, r.Parcels, g.Entry, g.BaseInsts, g.Parcels)
+		}
+		want, err := vliw.EncodeGroup(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := vliw.EncodeGroup(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(have, want) {
+			t.Fatalf("group %d re-encode differs (%d vs %d bytes)", i, len(have), len(want))
+		}
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 store", st)
+	}
+}
+
+// TestKeyAddressing pins that every key field participates in addressing.
+func TestKeyAddressing(t *testing.T) {
+	pt, groups := translated(t)
+	s := txcache.OpenMemory()
+	k := key(pt)
+	if err := s.Save(k, groups); err != nil {
+		t.Fatal(err)
+	}
+	for name, k2 := range map[string]txcache.Key{
+		"page base": {PageBase: k.PageBase + 0x1000, OptFP: k.OptFP, Digest: k.Digest},
+		"optfp":     {PageBase: k.PageBase, OptFP: k.OptFP + 1, Digest: k.Digest},
+	} {
+		if _, ok := s.Load(k2); ok {
+			t.Errorf("hit with altered %s", name)
+		}
+	}
+	k3 := k
+	k3.Digest[5] ^= 1
+	if _, ok := s.Load(k3); ok {
+		t.Error("hit with altered digest")
+	}
+}
+
+// TestDiskPersistence pins the cross-run property: entries written by one
+// Store are read back by a second Store opened on the same directory.
+func TestDiskPersistence(t *testing.T) {
+	pt, groups := translated(t)
+	dir := t.TempDir()
+	s1, err := txcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(pt)
+	if err := s1.Save(k, groups); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := txcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store sees %d entries, want 1", s2.Len())
+	}
+	got, ok := s2.Load(k)
+	if !ok || len(got) != len(groups) {
+		t.Fatalf("reopened store: ok=%v groups=%d", ok, len(got))
+	}
+}
+
+// TestDamageAccounting pins the miss taxonomy on both backends: corruption
+// is a Corrupt miss, version skew a VersionSkew miss, and neither crashes.
+func TestDamageAccounting(t *testing.T) {
+	pt, groups := translated(t)
+	dir := t.TempDir()
+	disk, err := txcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*txcache.Store{"mem": txcache.OpenMemory(), "disk": disk} {
+		k := key(pt)
+		if err := s.Save(k, groups); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.Corrupt(); n != 1 {
+			t.Fatalf("%s: corrupted %d entries, want 1", name, n)
+		}
+		if _, ok := s.Load(k); ok {
+			t.Fatalf("%s: corrupt entry served", name)
+		}
+		if s.Stats().Corrupt != 1 {
+			t.Fatalf("%s: corrupt not accounted: %+v", name, s.Stats())
+		}
+		// Re-save over the damage, then skew the version with a valid
+		// checksum: only the version gate can reject it now.
+		if err := s.Save(k, groups); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.SkewVersion(txcache.Version + 7); n != 1 {
+			t.Fatalf("%s: skewed %d entries, want 1", name, n)
+		}
+		if _, ok := s.Load(k); ok {
+			t.Fatalf("%s: version-skewed entry served", name)
+		}
+		if s.Stats().VersionSkew != 1 {
+			t.Fatalf("%s: skew not accounted: %+v", name, s.Stats())
+		}
+	}
+}
+
+// TestFingerprint pins that the options fingerprint separates descriptions
+// and folds in the format version (stable within a build).
+func TestFingerprint(t *testing.T) {
+	a := txcache.Fingerprint("window=96")
+	b := txcache.Fingerprint("window=48")
+	if a == b {
+		t.Fatal("distinct descriptions share a fingerprint")
+	}
+	if a != txcache.Fingerprint("window=96") {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

@@ -144,11 +144,15 @@ func encodeParcel(out []byte, p *Parcel) []byte {
 	return out
 }
 
-func decodeParcel(b []byte) (Parcel, int, error) {
+// decodeParcel decodes into *p (pre-zeroed by its caller's slice
+// allocation) rather than returning a value: Parcel is a large struct,
+// and the install path of the persistent translation cache decodes whole
+// pages of them on the machine's critical path.
+func decodeParcel(p *Parcel, b []byte) (int, error) {
 	if len(b) < 5 {
-		return Parcel{}, 0, fmt.Errorf("vliw: truncated parcel")
+		return 0, fmt.Errorf("vliw: truncated parcel")
 	}
-	p := Parcel{Op: Prim(b[0])}
+	p.Op = Prim(b[0])
 	flags := b[1]
 	p.Spec = flags&pfSpec != 0
 	p.SpecLoad = flags&pfSpecLoad != 0
@@ -169,7 +173,7 @@ func decodeParcel(b []byte) (Parcel, int, error) {
 	}
 	if p.hasCASrc() {
 		if err := need(1); err != nil {
-			return p, 0, err
+			return 0, err
 		}
 		p.CASrc = decodeRef(b[i])
 		i++
@@ -177,13 +181,13 @@ func decodeParcel(b []byte) (Parcel, int, error) {
 	if p.hasImm() {
 		if flags&pfImm32 != 0 {
 			if err := need(4); err != nil {
-				return p, 0, err
+				return 0, err
 			}
 			p.Imm = int32(binary.BigEndian.Uint32(b[i:]))
 			i += 4
 		} else {
 			if err := need(2); err != nil {
-				return p, 0, err
+				return 0, err
 			}
 			p.Imm = int32(int16(binary.BigEndian.Uint16(b[i:])))
 			i += 2
@@ -191,33 +195,33 @@ func decodeParcel(b []byte) (Parcel, int, error) {
 	}
 	if p.hasRot() {
 		if err := need(3); err != nil {
-			return p, 0, err
+			return 0, err
 		}
 		p.SH, p.MB, p.ME = b[i], b[i+1], b[i+2]
 		i += 3
 	}
 	if p.hasCRBits() {
 		if err := need(1); err != nil {
-			return p, 0, err
+			return 0, err
 		}
 		p.BD, p.BA, p.BB = b[i]>>4&3, b[i]>>2&3, b[i]&3
 		i++
 	}
 	if p.Op == PMtcrf {
 		if err := need(1); err != nil {
-			return p, 0, err
+			return 0, err
 		}
 		p.FXM = b[i]
 		i++
 	}
 	if p.Op == PLoad || p.Op == PStore {
 		if err := need(1); err != nil {
-			return p, 0, err
+			return 0, err
 		}
 		p.Size = b[i]
 		i++
 	}
-	return p, i, nil
+	return i, nil
 }
 
 const (
@@ -275,12 +279,14 @@ func decodeNode(b []byte) (*Node, int, error) {
 	n := &Node{}
 	count := int(b[0])
 	i := 1
+	if count > 0 {
+		n.Ops = make([]Parcel, count)
+	}
 	for k := 0; k < count; k++ {
-		p, sz, err := decodeParcel(b[i:])
+		sz, err := decodeParcel(&n.Ops[k], b[i:])
 		if err != nil {
 			return nil, 0, err
 		}
-		n.Ops = append(n.Ops, p)
 		i += sz
 	}
 	if len(b) < i+1 {

@@ -1,0 +1,376 @@
+package vmm
+
+// The asynchronous tiered translation pipeline. DAISY's dominant cost is
+// translation itself — §4.4 measures ~4315 host instructions per base
+// instruction, paid synchronously on first touch of every page. This file
+// takes translation off the critical path:
+//
+//   - Tiering: a cold page is interpreted; only after it has been
+//     dispatched HotThreshold times does the VMM spend translation effort
+//     on it (the paper's "leave interpretive mode quickly" rule made
+//     tunable, so effort follows the hot set).
+//   - Async: a bounded pool of worker goroutines translates hot pages
+//     from private snapshots of their bytes while the machine keeps
+//     executing interpretively. A finished translation is published only
+//     by the machine goroutine, at a precise boundary, so the handoff is
+//     atomic with respect to architected state.
+//   - Staleness: each page carries an epoch, bumped by every invalidation
+//     (SMC drain, cast-out, quarantine, adaptive retranslation). A result
+//     whose epoch — or whose page-byte digest — no longer matches is
+//     dropped, never published (Stats.StaleTranslationsDropped).
+//   - Backpressure: the job queue is bounded; when it is full the page
+//     simply stays interpretive and the enqueue is retried at a later
+//     dispatch (Stats.AsyncQueueFull), so the queue cannot grow without
+//     bound and translation effort cannot outrun execution.
+//
+// Workers never touch machine state: jobs carry a copy of the page bytes,
+// results come back over a channel sized so a worker can never block on
+// delivery, and the machine drains completions at dispatch boundaries.
+// The static translator reads nothing outside its page (paths stop at the
+// page boundary before fetching), which is what makes the snapshot a
+// complete translation input.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"daisy/internal/core"
+	"daisy/internal/mem"
+	"daisy/internal/txcache"
+	"daisy/internal/vliw"
+)
+
+// txJob asks a worker to translate the page at base, first touched at
+// entry. The snapshot and digest pin the exact bytes being translated;
+// the epoch pins the invalidation generation the result is valid for.
+type txJob struct {
+	base   uint32
+	entry  uint32
+	epoch  uint64
+	digest [32]byte
+	snap   []byte
+}
+
+// txResult is a finished (or failed) translation, pending publish.
+type txResult struct {
+	job   txJob
+	pt    *core.PageTranslation
+	stats core.Stats
+	err   error
+}
+
+// txPipeline owns the worker pool. The inflight set is touched only by
+// the machine goroutine; the channels are the sole cross-goroutine seam.
+type txPipeline struct {
+	jobs chan txJob
+	done chan txResult
+	wg   sync.WaitGroup
+
+	// inflight marks pages queued or being translated, so a page is never
+	// enqueued twice and never cache-installed while a worker owns it.
+	inflight map[uint32]bool
+
+	// testHold, when non-nil, gates each worker between dequeue and
+	// translation so tests can deterministically pile up the queue.
+	testHold chan struct{}
+}
+
+// startPipeline spins up the worker pool (New calls it when
+// AsyncTranslate is set and the mode supports it).
+func (m *Machine) startPipeline() {
+	workers := m.Opt.AsyncWorkers
+	if workers <= 0 {
+		workers = 2
+	}
+	depth := m.Opt.AsyncQueueDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	p := &txPipeline{
+		jobs: make(chan txJob, depth),
+		// One slot per possible outstanding job: depth queued + one per
+		// worker. A worker can therefore always deliver and exit, even if
+		// the machine stops draining (Close relies on this).
+		done:     make(chan txResult, depth+workers),
+		inflight: make(map[uint32]bool),
+	}
+	opt := m.Opt.Trans // workers get a private copy of the options
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				if p.testHold != nil {
+					<-p.testHold
+				}
+				p.done <- translateSnapshot(job, opt)
+			}
+		}()
+	}
+	m.pipe = p
+	m.epoch = make(map[uint32]uint64)
+	m.hot = make(map[uint32]int)
+}
+
+// translateSnapshot runs on a worker goroutine: it rebuilds the page's
+// bytes in a private memory image and translates with a private
+// Translator, so nothing it reads or writes is shared with the machine.
+func translateSnapshot(job txJob, opt core.Options) txResult {
+	mm := mem.New(job.base + uint32(len(job.snap)))
+	if err := mm.LoadImage(job.base, job.snap); err != nil {
+		return txResult{job: job, err: err}
+	}
+	t := core.New(mm, opt)
+	pt, err := t.TranslatePage(job.entry)
+	return txResult{job: job, pt: pt, stats: t.Stats, err: err}
+}
+
+// Close stops the asynchronous translation workers and discards any
+// unpublished results. It is a no-op on a synchronous machine. The
+// machine must not be stepped after Close.
+func (m *Machine) Close() {
+	if m.pipe == nil {
+		return
+	}
+	close(m.pipe.jobs)
+	if m.pipe.testHold != nil {
+		close(m.pipe.testHold)
+	}
+	m.pipe.wg.Wait()
+	m.pipe = nil
+}
+
+// hotThreshold returns the dispatch count at which a cold page earns a
+// translation (HotThreshold, defaulting to 2: interpret the first trip,
+// translate on re-touch — pages executed once never pay for a schedule).
+func (m *Machine) hotThreshold() int {
+	if m.Opt.HotThreshold > 0 {
+		return m.Opt.HotThreshold
+	}
+	return 2
+}
+
+// bumpEpoch invalidates any in-flight translation of the page at base.
+func (m *Machine) bumpEpoch(base uint32) {
+	if m.pipe == nil {
+		return
+	}
+	m.epoch[base]++
+	delete(m.hot, base)
+}
+
+// groupAsync is the non-blocking dispatch lookup: it returns the group at
+// addr when one is available (published, cached, or an incremental entry
+// extension of an already-published page), or nil when the page should
+// keep running interpretively — still cold, queued, in flight, or pushed
+// back by a full queue.
+func (m *Machine) groupAsync(addr uint32) (*vliw.Group, error) {
+	base := addr &^ (m.Trans.Opt.PageSize - 1)
+	if _, ok := m.pages[base]; ok {
+		// Page is live. A missing entry point is built synchronously:
+		// entry extension is incremental (the page's groups already
+		// exist), far cheaper than a page build, and keeping it inline
+		// preserves the §3.4 invalid-entry semantics exactly.
+		return m.groupAt(addr)
+	}
+	if m.pipe.inflight[base] {
+		return nil, nil
+	}
+	// Cold page: a persistent-cache hit skips both the hotness dues and
+	// the queue — installing a finished translation is cheap.
+	if m.cacheUsable(base) && m.installCached(addr) {
+		return m.groupAt(addr)
+	}
+	m.hot[base]++
+	if m.hot[base] < m.hotThreshold() {
+		return nil, nil
+	}
+	m.enqueue(base, addr)
+	return nil, nil
+}
+
+// enqueue snapshots the page and offers it to the worker pool. A full
+// queue is backpressure, not an error: the page stays interpretive and a
+// later dispatch retries (hot count is already past threshold).
+func (m *Machine) enqueue(base, entry uint32) {
+	src := m.Mem.Bytes(base, m.Trans.Opt.PageSize)
+	if src == nil {
+		// Page extends past physical memory; nothing translatable.
+		return
+	}
+	job := txJob{
+		base:   base,
+		entry:  entry,
+		epoch:  m.epoch[base],
+		digest: sha256.Sum256(src),
+		snap:   append([]byte(nil), src...),
+	}
+	select {
+	case m.pipe.jobs <- job:
+		m.pipe.inflight[base] = true
+		m.Stats.AsyncEnqueues++
+		if m.tp != nil {
+			m.tp.asyncEnqueue(m, base)
+		}
+	default:
+		m.Stats.AsyncQueueFull++
+	}
+}
+
+// drainAsync publishes every finished translation waiting on the done
+// channel. It runs on the machine goroutine at dispatch boundaries —
+// precise architected states — which is what makes publication atomic.
+func (m *Machine) drainAsync() error {
+	// Results can only be pending while a job is in flight; skipping the
+	// channel poll otherwise keeps the steady state (everything published)
+	// as cheap as a synchronous machine's dispatch loop.
+	if len(m.pipe.inflight) == 0 {
+		return nil
+	}
+	for {
+		select {
+		case r := <-m.pipe.done:
+			delete(m.pipe.inflight, r.job.base)
+			if err := m.publish(r); err != nil {
+				return err
+			}
+		default:
+			if m.tp != nil {
+				m.tp.queueDepth(len(m.pipe.jobs) + len(m.pipe.inflight))
+			}
+			return nil
+		}
+	}
+}
+
+// publish installs one worker result, unless it went stale in flight: an
+// epoch bump (SMC drain, cast-out, quarantine, adaptive retranslation) or
+// changed page bytes (a store into a not-yet-protected page raises no
+// code-modification interrupt, so the digest is re-checked here) discards
+// the result. The next dispatch of the page re-triggers translation
+// against its current contents.
+func (m *Machine) publish(r txResult) error {
+	base := r.job.base
+	cur := m.Mem.Bytes(base, m.Trans.Opt.PageSize)
+	if m.epoch[base] != r.job.epoch || cur == nil || sha256.Sum256(cur) != r.job.digest {
+		m.Stats.StaleTranslationsDropped++
+		if m.tp != nil {
+			m.tp.asyncStale(m, base)
+		}
+		return nil
+	}
+	if r.err != nil {
+		return fmt.Errorf("vmm: async translation of page %#x: %w", base, r.err)
+	}
+	before := m.Trans.Stats
+	m.Trans.Stats = m.Trans.Stats.Add(r.stats)
+	m.Stats.PagesBuilt++
+	m.Stats.GroupsBuilt += r.stats.Groups
+	m.Stats.AsyncPublishes++
+	delete(m.hot, base)
+	if m.tp != nil {
+		m.tp.translated(m, r.job.entry, before)
+		m.tp.asyncPublish(m, base)
+	}
+	if m.OnTranslate != nil {
+		m.OnTranslate(r.pt)
+	}
+	m.pages[base] = r.pt
+	m.touch(base)
+	m.Mem.SetReadOnly(base, true)
+	m.castOut()
+	m.cacheStore(r.pt)
+	return nil
+}
+
+// ---- Persistent cross-run translation cache ----
+
+// cacheUsable reports whether the persistent cache may serve the page at
+// base. Translation must be a pure function of (page bytes, page base,
+// options) for content addressing to be sound, so any machinery that
+// feeds extra state into the schedule — trace guides, profile feedback,
+// whole-program translation, a per-page speculation inhibit — bypasses
+// the cache.
+func (m *Machine) cacheUsable(base uint32) bool {
+	return m.Opt.Cache != nil && !m.Opt.Interpretive &&
+		m.Opt.Trans.TraceGuide == nil && m.Opt.Trans.ProfileProb == nil &&
+		!m.Opt.Trans.CrossPage && !m.inhibit[base]
+}
+
+// cacheKey builds the content address of the page at base from its
+// current bytes (ok=false when the page extends past physical memory).
+func (m *Machine) cacheKey(base uint32) (txcache.Key, bool) {
+	b := m.Mem.Bytes(base, m.Trans.Opt.PageSize)
+	if b == nil {
+		return txcache.Key{}, false
+	}
+	if m.optFP == 0 {
+		m.optFP = txcache.Fingerprint(optionsDesc(m.Trans.Opt))
+	}
+	return txcache.Key{PageBase: base, OptFP: m.optFP, Digest: sha256.Sum256(b)}, true
+}
+
+// optionsDesc spells out every translator option that shapes the emitted
+// schedule. Anything listed here that changes between runs changes the
+// cache key, so stale-option entries can never be replayed.
+func optionsDesc(o core.Options) string {
+	return fmt.Sprintf("cfg=%s/%d-%d-%d-%d ps=%d win=%d join=%d loop=%d pen=%d precise=%t spec=%t fwd=%t inline=%t",
+		o.Config.Name, o.Config.Issue, o.Config.ALU, o.Config.Mem, o.Config.Branch,
+		o.PageSize, o.Window, o.MaxJoinVisits, o.MaxLoopVisits, o.LoopExitPenalty,
+		o.PreciseExceptions, o.SpeculateLoads, o.StoreForwarding, o.InlineReturns)
+}
+
+// installCached consults the persistent cache for the page containing
+// addr and, on a hit, installs the decoded groups in their original
+// layout order. Corrupt or version-skewed entries read as misses inside
+// the store and fall through to fresh translation here.
+func (m *Machine) installCached(addr uint32) bool {
+	base := addr &^ (m.Trans.Opt.PageSize - 1)
+	key, ok := m.cacheKey(base)
+	if !ok {
+		return false
+	}
+	groups, ok := m.Opt.Cache.Load(key)
+	if !ok {
+		m.Stats.CacheMisses++
+		return false
+	}
+	pt := core.EmptyPage(base, m.Trans.Opt.PageSize)
+	for _, g := range groups {
+		m.Trans.Adopt(pt, g)
+	}
+	m.Stats.CacheHits++
+	m.Stats.PagesBuilt++ // a "translation missing" exception was serviced
+	if m.tp != nil {
+		m.tp.cacheHit(m, base)
+	}
+	if m.OnTranslate != nil {
+		m.OnTranslate(pt)
+	}
+	m.pages[base] = pt
+	m.touch(base)
+	m.Mem.SetReadOnly(base, true)
+	m.castOut()
+	return true
+}
+
+// cacheStore writes the page's current translation back to the
+// persistent cache in layout order (write-through; a page that later
+// gains entry points is simply rewritten with the larger set).
+func (m *Machine) cacheStore(pt *core.PageTranslation) {
+	if !m.cacheUsable(pt.Base) {
+		return
+	}
+	key, ok := m.cacheKey(pt.Base)
+	if !ok {
+		return
+	}
+	groups := make([]*vliw.Group, 0, len(pt.Order))
+	for _, e := range pt.Order {
+		groups = append(groups, pt.Groups[e])
+	}
+	if err := m.Opt.Cache.Save(key, groups); err == nil {
+		m.Stats.CacheStores++
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"daisy/internal/interp"
 	"daisy/internal/mem"
 	"daisy/internal/ppc"
+	"daisy/internal/txcache"
 	"daisy/internal/vliw"
 )
 
@@ -73,6 +74,33 @@ type Options struct {
 	// instructions; each re-quarantine of the same page doubles it
 	// (exponential backoff before translation is retried).
 	QuarantineBackoff uint64
+
+	// AsyncTranslate moves page translation off the execution path: hot
+	// pages are translated by a bounded worker pool while the machine
+	// keeps interpreting, and finished translations are published at
+	// precise boundaries (see async.go). Off by default — the golden and
+	// lockstep walls pin the synchronous machine. Ignored in Interpretive
+	// mode, whose trace-guided translation is inherently inline.
+	AsyncTranslate bool
+
+	// AsyncWorkers is the translator pool size (0: 2).
+	AsyncWorkers int
+
+	// AsyncQueueDepth bounds the pending-translation queue; a full queue
+	// pushes back (the page stays interpretive and retries later) rather
+	// than growing without bound (0: 8).
+	AsyncQueueDepth int
+
+	// HotThreshold is how many dispatches into an untranslated page it
+	// takes before the async pipeline spends translation effort on it
+	// (0: 2). Only consulted when AsyncTranslate is on.
+	HotThreshold int
+
+	// Cache, if non-nil, is the persistent cross-run translation cache:
+	// consulted (by page-content digest + options fingerprint) before any
+	// page translation is scheduled, and written through after each one
+	// completes. Works with both the synchronous and async machines.
+	Cache *txcache.Store
 }
 
 // DefaultOptions mirrors the paper's headline setup.
@@ -111,6 +139,18 @@ type Stats struct {
 	Quarantines        uint64 // pages degraded to interpret-only mode
 	QuarantineReleases uint64 // quarantines expired (translation retried)
 	InjectedFaults     uint64 // chaos-harness injections observed
+
+	// Asynchronous translation pipeline (async.go).
+	AsyncEnqueues            uint64 // pages handed to the worker pool
+	AsyncPublishes           uint64 // worker results installed
+	AsyncQueueFull           uint64 // enqueues pushed back by a full queue
+	StaleTranslationsDropped uint64 // in-flight results discarded by epoch/digest
+
+	// Persistent translation cache (per-machine view; the Store keeps its
+	// own cross-machine counters).
+	CacheHits   uint64
+	CacheMisses uint64
+	CacheStores uint64
 
 	Cycles      uint64 // VLIW issue cycles (one per attempted tree instruction)
 	StallCycles uint64 // extra cycles from the attached cache model
@@ -198,6 +238,16 @@ type Machine struct {
 	curGroup *vliw.Group
 	maxInsts uint64
 
+	// Asynchronous translation pipeline state (async.go): the worker
+	// pool, per-page invalidation epochs, and per-page hotness counters.
+	// pipe is nil on a synchronous machine; epoch and hot exist only with
+	// it. optFP memoizes the translator-options fingerprint for the
+	// persistent cache key.
+	pipe  *txPipeline
+	epoch map[uint32]uint64
+	hot   map[uint32]int
+	optFP uint64
+
 	// tp is the attached telemetry probe (nil when telemetry is off; see
 	// telemetry.go — every hot-path site is a single nil check).
 	tp *telProbe
@@ -256,6 +306,9 @@ func New(m *mem.Memory, env *interp.Env, opt Options) *Machine {
 		ma.Exec.AddrXlate = func(vaddr uint32, write bool) (uint32, *mem.Fault) {
 			return interp.DataTranslate(ma.Mem, &ma.St, vaddr, write)
 		}
+	}
+	if opt.AsyncTranslate && !opt.Interpretive {
+		ma.startPipeline()
 	}
 	return ma
 }
@@ -332,6 +385,12 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 		m.touch(base)
 		return pt, nil
 	}
+	// A persistent-cache hit installs the prior run's translation of these
+	// exact bytes instead of rebuilding it (async machines consult the
+	// cache in groupAsync before the page ever reaches here).
+	if m.cacheUsable(base) && m.installCached(addr) {
+		return m.pages[base], nil
+	}
 	before := m.Trans.Stats
 	var pt *core.PageTranslation
 	var err error
@@ -357,6 +416,7 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 	// interrupt (§3.2).
 	m.Mem.SetReadOnly(base, true)
 	m.castOut()
+	m.cacheStore(pt)
 	return pt, nil
 }
 
@@ -384,6 +444,10 @@ func (m *Machine) castOut() {
 // funnels through here, so the unchain walk below is the single point
 // where group-chaining links die with the translation they point into.
 func (m *Machine) invalidate(base uint32) {
+	// Bump the page's epoch before the existence check: the page may have
+	// no published translation yet but still have one in flight, and that
+	// result must not land after this invalidation.
+	m.bumpEpoch(base)
 	pt, ok := m.pages[base]
 	if !ok {
 		return
@@ -467,6 +531,9 @@ func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
 	if m.OnTranslate != nil {
 		m.OnTranslate(pt)
 	}
+	// The page grew a new entry group: rewrite its cache entry so the
+	// next run reloads the extended translation.
+	m.cacheStore(pt)
 	return g, nil
 }
 
@@ -532,13 +599,31 @@ func (m *Machine) runGroupLoop() (bool, error) {
 		m.OnGroupStart(m.St.PC)
 	}
 	m.drainDirty()
+	if m.pipe != nil {
+		// Publish finished worker translations first, at this precise
+		// boundary: drainDirty has just applied any pending invalidations,
+		// so a published result is checked against final epochs.
+		if err := m.drainAsync(); err != nil {
+			return false, err
+		}
+	}
 	if m.pageQuarantined(m.St.PC) {
 		// Graceful degradation: the page keeps invalidating or faulting
 		// its translations, so run it interpretively until the backoff
 		// expires instead of translating it yet again.
 		return false, m.interpret()
 	}
-	g, err := m.groupAt(m.St.PC)
+	var g *vliw.Group
+	var err error
+	if m.pipe != nil {
+		g, err = m.groupAsync(m.St.PC)
+		if err == nil && g == nil {
+			// Cold, queued, or in flight: keep executing interpretively.
+			return false, m.interpret()
+		}
+	} else {
+		g, err = m.groupAt(m.St.PC)
+	}
 	if err != nil {
 		return false, err
 	}
@@ -803,8 +888,16 @@ func (m *Machine) interpret() error {
 	ip := interp.New(m.Mem, m.Env, m.St.PC)
 	ip.St = m.St
 	ip.DeliverDSI = m.Opt.GuestFaultVectors
+	startPage := m.St.PC &^ (m.Trans.Opt.PageSize - 1)
 	for steps := 0; steps < m.Opt.InterpBudget; steps++ {
 		if m.hasEntry(ip.St.PC) && steps > 0 {
+			break
+		}
+		// With the async pipeline on, a page crossing returns to the
+		// dispatcher: hotness is counted per dispatched page, so gliding
+		// across pages interpretively would starve the tiering policy of
+		// exactly the touches it is supposed to count.
+		if m.pipe != nil && steps > 0 && ip.St.PC&^(m.Trans.Opt.PageSize-1) != startPage {
 			break
 		}
 		if err := ip.Step(); err != nil {
@@ -847,7 +940,7 @@ func (m *Machine) drainDirty() bool {
 	}
 	m.Stats.Exec = m.Exec.Stats // noteTrouble timestamps in completed insts
 	for b := range m.dirty {
-		m.invalidate(b)
+		m.invalidate(b) // also bumps the page's in-flight epoch
 		m.Stats.SMCInvalidations++
 		if m.tp != nil {
 			m.tp.smcInvalidate(m, b)

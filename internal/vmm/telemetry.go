@@ -38,6 +38,8 @@ type telProbe struct {
 	cTransNs    *telemetry.Counter
 	cExecNs     *telemetry.Counter
 
+	gAsyncQueue *telemetry.Gauge
+
 	// Mirrored Stats counters: prev holds the value already pushed, so a
 	// sync adds only the delta (counters are monotonic).
 	mirror []statMirror
@@ -73,6 +75,8 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 		cDispatches: tel.Counter(telemetry.MDispatchesSampled),
 		cTransNs:    tel.TimeCounter(telemetry.MTranslateNs),
 		cExecNs:     tel.TimeCounter(telemetry.MExecuteNs),
+
+		gAsyncQueue: tel.Gauge(telemetry.GAsyncQueue),
 	}
 	mk := func(name string, read func(*Machine) uint64) {
 		p.mirror = append(p.mirror, statMirror{c: tel.Counter(name), read: read})
@@ -91,6 +95,13 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 	mk(telemetry.MCastOuts, func(m *Machine) uint64 { return m.Stats.CastOuts })
 	mk(telemetry.MQuarantines, func(m *Machine) uint64 { return m.Stats.Quarantines })
 	mk(telemetry.MQuarantineReleases, func(m *Machine) uint64 { return m.Stats.QuarantineReleases })
+	mk(telemetry.MAsyncEnqueues, func(m *Machine) uint64 { return m.Stats.AsyncEnqueues })
+	mk(telemetry.MAsyncPublishes, func(m *Machine) uint64 { return m.Stats.AsyncPublishes })
+	mk(telemetry.MAsyncQueueFull, func(m *Machine) uint64 { return m.Stats.AsyncQueueFull })
+	mk(telemetry.MAsyncStale, func(m *Machine) uint64 { return m.Stats.StaleTranslationsDropped })
+	mk(telemetry.MCacheHits, func(m *Machine) uint64 { return m.Stats.CacheHits })
+	mk(telemetry.MCacheMisses, func(m *Machine) uint64 { return m.Stats.CacheMisses })
+	mk(telemetry.MCacheStores, func(m *Machine) uint64 { return m.Stats.CacheStores })
 	m.tp = p
 }
 
@@ -219,4 +230,29 @@ func (p *telProbe) quarantined(m *Machine, base uint32, backoff uint64) {
 func (p *telProbe) quarantineReleased(m *Machine, base uint32, dwell uint64) {
 	p.hDwell.Observe(float64(dwell))
 	p.tel.Event(telemetry.EvQuarantineOff, m.instClock(), base, base, dwell)
+}
+
+// Async-pipeline events are rare (page-granular, not instruction-granular)
+// and recorded unconditionally, like the robustness events above.
+
+func (p *telProbe) asyncEnqueue(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvAsyncEnqueue, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) asyncPublish(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvAsyncPublish, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) asyncStale(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvAsyncStale, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) cacheHit(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvCacheHit, m.instClock(), base, base, 0)
+}
+
+// queueDepth publishes the pipeline's current backlog (queued + in-flight
+// pages) after each drain.
+func (p *telProbe) queueDepth(n int) {
+	p.gAsyncQueue.Set(float64(n))
 }
