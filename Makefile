@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot race-async chaos-smoke bench-smoke cover cover-update ci bench benchcmp experiments
+.PHONY: all build test vet race race-hot race-async chaos-smoke bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
 
 all: build
 
@@ -42,6 +42,11 @@ chaos-smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=ExecutorThroughput -benchtime=1x .
 
+# End-to-end profiler gate: run a workload with every dispatch attributed,
+# export the pprof payload, and structurally validate it round-trips.
+profile-smoke:
+	$(GO) run ./cmd/daisy-profile -workload c_sieve -o /tmp/daisy-profile-smoke.pb -top 5 -check
+
 # Coverage ratchet: total statement coverage may not fall more than 0.5
 # points below the committed COVERAGE.txt baseline. Raise the floor after
 # adding tests with `make cover-update`.
@@ -54,7 +59,7 @@ cover-update:
 	$(GO) run ./cmd/daisy-cover -profile cover.out -update
 	@echo "commit COVERAGE.txt to ratchet the floor"
 
-ci: vet build race race-hot race-async chaos-smoke bench-smoke cover
+ci: vet build race race-hot race-async chaos-smoke bench-smoke profile-smoke cover
 
 # Run the full benchmark suite once and archive the parsed metrics as a
 # dated JSON snapshot — the repository's perf trajectory. Compare two

@@ -433,6 +433,36 @@ func BenchmarkExecutorThroughputTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkExecutorThroughputProfiled adds the guest attribution profiler
+// on top of the attached-telemetry configuration, still at 1-in-64
+// sampling: the scan-walk replay runs on the sampled dispatches only, so
+// the cost must stay within noise of the plain telemetry variant
+// (EXPERIMENTS.md cost-model row).
+func BenchmarkExecutorThroughputProfiled(b *testing.B) {
+	w, _ := workload.ByName("c_sieve")
+	prog, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Input(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mem.New(experiments.MemSize)
+		_ = prog.Load(m)
+		ma := vmm.New(m, &interp.Env{In: in}, vmm.DefaultOptions())
+		opt := telemetry.DefaultOptions()
+		opt.Profile = true
+		ma.AttachTelemetry(telemetry.New(opt))
+		if err := ma.Run(prog.Entry(), 0); err != nil {
+			b.Fatal(err)
+		}
+		ma.SyncTelemetry()
+		if ma.Telemetry().Profile().TotalCycles() == 0 {
+			b.Fatal("profiler attributed nothing")
+		}
+	}
+}
+
 // BenchmarkInterpreterThroughput is the reference point for the executor.
 func BenchmarkInterpreterThroughput(b *testing.B) {
 	w, _ := workload.ByName("c_sieve")

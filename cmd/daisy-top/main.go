@@ -37,16 +37,21 @@ func main() {
 		once       = flag.Bool("once", false, "skip the live screen; print only the final render")
 		rows       = flag.Int("rows", 10, "hot-page / hot-group rows")
 		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
+		async      = flag.Bool("async", false, "translate asynchronously (adds the pipeline pane)")
+		cacheDir   = flag.String("txcache", "", "persistent translation cache directory (created if missing)")
+		profile    = flag.Bool("profile", false, "attribute guest cycles to base PCs; append the flat report")
 	)
 	flag.Parse()
-	if err := run(*wlName, *scale, *configName, *sample, *interval, *once, *rows, *maxInsts); err != nil {
+	if err := run(*wlName, *scale, *configName, *sample, *interval, *once, *rows, *maxInsts,
+		*async, *cacheDir, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-top:", err)
 		os.Exit(1)
 	}
 }
 
 func run(wlName string, scale int, configName string, sample int,
-	interval time.Duration, once bool, rows int, maxInsts uint64) error {
+	interval time.Duration, once bool, rows int, maxInsts uint64,
+	async bool, cacheDir string, profile bool) error {
 
 	cfg, err := vliw.ConfigByName(configName)
 	if err != nil {
@@ -67,9 +72,18 @@ func run(wlName string, scale int, configName string, sample int,
 	}
 	opt := daisy.DefaultOptions()
 	opt.Trans.Config = cfg
+	opt.AsyncTranslate = async
+	if cacheDir != "" {
+		cache, err := daisy.OpenTranslationCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = cache
+	}
 	ma := daisy.NewMachine(m, &daisy.Env{In: w.Input(scale)}, opt)
+	defer ma.Close()
 
-	tel := daisy.NewTelemetry(daisy.TelemetryOptions{SampleEvery: sample, TraceCap: 1 << 16})
+	tel := daisy.NewTelemetry(daisy.TelemetryOptions{SampleEvery: sample, TraceCap: 1 << 16, Profile: profile})
 	ma.AttachTelemetry(tel)
 
 	start := time.Now()
@@ -98,5 +112,8 @@ func run(wlName string, scale int, configName string, sample int,
 
 	ma.SyncTelemetry()
 	fmt.Print(telemetry.RenderTop(tel.Snapshot(), time.Since(start), topOpt))
+	if prof := tel.Profile(); prof != nil {
+		fmt.Print(prof.RenderTop(rows))
+	}
 	return nil
 }

@@ -21,6 +21,8 @@ type Flags struct {
 	PromFile      string
 	JSONLFile     string
 	ChromeFile    string
+	ProfileFile   string
+	Spans         bool
 	Top           bool
 	CPUProfile    string
 	MemProfile    string
@@ -37,6 +39,8 @@ func Register() *Flags {
 	flag.StringVar(&f.PromFile, "prom", "", "telemetry: write Prometheus text metrics to FILE at exit")
 	flag.StringVar(&f.JSONLFile, "trace-jsonl", "", "telemetry: write the event trace as JSONL to FILE at exit")
 	flag.StringVar(&f.ChromeFile, "trace-chrome", "", "telemetry: write a Chrome trace_event file to FILE at exit")
+	flag.StringVar(&f.ProfileFile, "profile", "", "telemetry: write a guest pprof profile (base-PC attribution) to FILE at exit")
+	flag.BoolVar(&f.Spans, "spans", false, "telemetry: trace page-lifecycle spans (begin/end events + latency histograms)")
 	flag.BoolVar(&f.Top, "top", false, "telemetry: print a daisy-top screen to stderr at exit")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to FILE")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to FILE at exit")
@@ -47,7 +51,8 @@ func Register() *Flags {
 // Enabled reports whether any flag implies a telemetry instance.
 func (f *Flags) Enabled() bool {
 	return f.Telemetry || f.PromFile != "" || f.JSONLFile != "" ||
-		f.ChromeFile != "" || f.Top || f.SnapshotEvery > 0
+		f.ChromeFile != "" || f.ProfileFile != "" || f.Spans ||
+		f.Top || f.SnapshotEvery > 0
 }
 
 // Setup builds the telemetry instance (nil if not enabled) and starts
@@ -63,7 +68,12 @@ func (f *Flags) Setup() (tel *telemetry.Telemetry, finish func() error, err erro
 		stops = append(stops, stop)
 	}
 	if f.Enabled() {
-		tel = telemetry.New(telemetry.Options{SampleEvery: f.Sample, TraceCap: f.TraceCap})
+		tel = telemetry.New(telemetry.Options{
+			SampleEvery: f.Sample,
+			TraceCap:    f.TraceCap,
+			Profile:     f.ProfileFile != "",
+			Spans:       f.Spans,
+		})
 		if f.SnapshotEvery > 0 {
 			stops = append(stops, telemetry.PeriodicSnapshots(tel, os.Stderr, f.SnapshotEvery))
 		}
@@ -89,6 +99,15 @@ func (f *Flags) Setup() (tel *telemetry.Telemetry, finish func() error, err erro
 				return tel.Snapshot().WritePrometheus(w)
 			}); err != nil {
 				return err
+			}
+		}
+		if f.ProfileFile != "" {
+			if prof := tel.Profile(); prof != nil {
+				if err := writeFile(f.ProfileFile, func(w *os.File) error {
+					return prof.WritePprof(w)
+				}); err != nil {
+					return err
+				}
 			}
 		}
 		tr := tel.Tracer()

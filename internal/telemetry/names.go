@@ -33,7 +33,8 @@ const (
 	MAsyncPublishes = "daisy_async_publishes"
 	MAsyncQueueFull = "daisy_async_queue_full"
 	MAsyncStale     = "daisy_async_stale_dropped"
-	GAsyncQueue     = "daisy_async_queue_depth" // gauge: queued + in-flight pages
+	GAsyncQueue     = "daisy_async_queue_depth" // gauge: pages waiting in the job channel
+	GAsyncInflight  = "daisy_async_inflight"    // gauge: pages being translated by workers
 
 	// Persistent translation cache.
 	MCacheHits   = "daisy_txcache_hits"
@@ -46,6 +47,13 @@ const (
 	HTransNsPerInst    = "daisy_translate_ns_per_inst" // host clock; zeroed by Canonical
 	HChainRunLen       = "daisy_chain_run_len"         // groups chained per dispatch without VMM round-trip
 	HQuarantineDwell   = "daisy_quarantine_dwell"      // base insts a page spent quarantined
+
+	// Per-stage async-pipeline latency histograms (host clock; zeroed by
+	// Canonical). Registered only when Options.Spans is on, so span-free
+	// snapshots stay byte-identical to the pre-span goldens.
+	HSpanQueueWaitNs    = "daisy_span_queue_wait_ns"    // enqueue -> worker pickup
+	HSpanTranslateNs    = "daisy_span_translate_ns"     // worker pickup -> result ready
+	HSpanPublishDelayNs = "daisy_span_publish_delay_ns" // result ready -> boundary publish
 )
 
 // Default histogram bounds (last bucket +Inf is implicit).
@@ -55,4 +63,5 @@ var (
 	BoundsNsPerInst = []float64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000}
 	BoundsChainRun  = []float64{1, 2, 3, 4, 6, 8, 12, 16, 32}
 	BoundsDwell     = []float64{1000, 3000, 10000, 30000, 100000, 300000, 1e6, 3e6}
+	BoundsSpanNs    = []float64{1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8}
 )

@@ -41,6 +41,19 @@ type Options struct {
 	// TraceCap is the event ring capacity (rounded up to a power of two;
 	// 0 disables tracing entirely, so metrics-only telemetry pays no ring).
 	TraceCap int
+
+	// Profile enables the guest-time attribution profiler (profile.go):
+	// sampled dispatch runs are walked with the scan mapping and charged
+	// to base-architecture PCs. Off by default — attribution walks the
+	// executed path, which costs more than the flat counters.
+	Profile bool
+
+	// Spans enables page-lifecycle span tracing: the VMM probe emits
+	// begin/end span events (EvSpanBegin/EvSpanEnd) for each page's
+	// journey through the translation pipeline and feeds the per-stage
+	// latency histograms. Off by default so span-free traces golden-
+	// compare against the pre-span event streams.
+	Spans bool
 }
 
 // DefaultOptions returns the configuration the cmd tools use: 1-in-64
@@ -59,7 +72,8 @@ type Telemetry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 
-	trace *Tracer // nil when TraceCap == 0
+	trace *Tracer  // nil when TraceCap == 0
+	prof  *Profile // nil when Options.Profile is false
 
 	hotMu     sync.Mutex
 	hotPages  map[uint32]uint64 // sampled dispatch counts by page base
@@ -83,6 +97,9 @@ func New(opt Options) *Telemetry {
 	if opt.TraceCap > 0 {
 		t.trace = newTracer(opt.TraceCap)
 	}
+	if opt.Profile {
+		t.prof = NewProfile(opt.SampleEvery)
+	}
 	return t
 }
 
@@ -91,6 +108,12 @@ func (t *Telemetry) SampleEvery() int { return t.opt.SampleEvery }
 
 // Tracer returns the event tracer, or nil when tracing is disabled.
 func (t *Telemetry) Tracer() *Tracer { return t.trace }
+
+// Profile returns the guest attribution profile, or nil when disabled.
+func (t *Telemetry) Profile() *Profile { return t.prof }
+
+// SpansEnabled reports whether page-lifecycle span tracing is on.
+func (t *Telemetry) SpansEnabled() bool { return t.opt.Spans }
 
 // Counter is a monotonically increasing uint64 metric. Safe for concurrent
 // use; Inc/Add are a single atomic add.

@@ -59,6 +59,21 @@ func RenderTop(s Snapshot, wall time.Duration, opt TopOptions) string {
 		ctr("daisy_groups_built"), ctr("daisy_dispatches_sampled"),
 		ctr("daisy_chain_patches"), ctr("daisy_chain_follows"), ctr("daisy_exceptions"))
 
+	// Async-pipeline pane: only rendered when the pipeline (or the
+	// persistent translation cache) actually saw traffic, so synchronous
+	// runs keep the pre-async screen byte-for-byte.
+	enq := ctr(MAsyncEnqueues)
+	hits, misses := ctr(MCacheHits), ctr(MCacheMisses)
+	if enq+ctr(MAsyncStale)+hits+misses > 0 {
+		fmt.Fprintf(&b, "async: enq=%d pub=%d stale=%d full=%d queue=%d inflight=%d\n",
+			enq, ctr(MAsyncPublishes), ctr(MAsyncStale), ctr(MAsyncQueueFull),
+			uint64(get(s.Gauges, GAsyncQueue)), uint64(get(s.Gauges, GAsyncInflight)))
+		if hits+misses > 0 {
+			fmt.Fprintf(&b, "txcache: hits=%d misses=%d stores=%d hit%%=%.1f\n",
+				hits, misses, ctr(MCacheStores), 100*float64(hits)/float64(hits+misses))
+		}
+	}
+
 	row := func(title string, hot []HotCount) {
 		fmt.Fprintf(&b, "%s (sampled dispatches)\n", title)
 		if len(hot) == 0 {

@@ -24,6 +24,8 @@ const (
 	EvAsyncPublish               // async translation published at a precise boundary
 	EvAsyncStale                 // in-flight result dropped by epoch/digest check
 	EvCacheHit                   // page installed from the persistent translation cache
+	EvSpanBegin                  // page-lifecycle stage begins; Arg = SpanArg(gen, stage, 0)
+	EvSpanEnd                    // page-lifecycle stage ends; Arg = SpanArg(gen, stage, outcome)
 	numEventKinds
 )
 
@@ -31,6 +33,68 @@ var eventKindNames = [numEventKinds]string{
 	"translate", "dispatch", "chain-patch", "chain-follow", "boundary",
 	"exception", "smc-invalidate", "cast-out", "quarantine", "quarantine-release",
 	"async-enqueue", "async-publish", "async-stale", "cache-hit",
+	"span-begin", "span-end",
+}
+
+// SpanStage is one stage of a page's lifecycle through the translation
+// pipeline. Every stage renders as one duration slice on the page's async
+// track in the Chrome trace; consecutive stages share the page's span ID,
+// so the whole journey (first touch → translate → live → gone) reads as
+// one flow.
+type SpanStage uint8
+
+const (
+	StageWarmup     SpanStage = iota // first touch → translation scheduled (hot-threshold dues)
+	StageTranslate                   // enqueued → published, dropped stale, or invalidated in flight
+	StageLive                        // translation installed → invalidated (SMC/cast-out/quarantine)
+	StageQuarantine                  // interpret-only quarantine engaged → released
+	numSpanStages
+)
+
+var spanStageNames = [numSpanStages]string{"page-warmup", "page-translate", "page-live", "page-quarantine"}
+
+func (s SpanStage) String() string {
+	if int(s) < len(spanStageNames) {
+		return spanStageNames[s]
+	}
+	return fmt.Sprintf("stage%d", int(s))
+}
+
+// SpanOutcome says how a stage ended.
+type SpanOutcome uint8
+
+const (
+	OutcomeNone        SpanOutcome = iota // begin events, or no specific cause
+	OutcomePublished                      // translate stage ended by a publish
+	OutcomeStale                          // in-flight result dropped by the epoch/digest check
+	OutcomeCached                         // warmup cut short by a persistent-cache install
+	OutcomeInvalidated                    // stage ended by a translation invalidation
+	OutcomeReleased                       // quarantine backoff expired
+	OutcomeOpen                           // still open when the trace was finalized
+	numSpanOutcomes
+)
+
+var spanOutcomeNames = [numSpanOutcomes]string{
+	"", "published", "stale", "cached", "invalidated", "released", "open",
+}
+
+func (o SpanOutcome) String() string {
+	if int(o) < len(spanOutcomeNames) {
+		return spanOutcomeNames[o]
+	}
+	return fmt.Sprintf("outcome%d", int(o))
+}
+
+// SpanArg packs a span event's Arg: the page-keyed span generation (so a
+// retranslated page gets a fresh span ID), the stage, and — for end
+// events — the outcome.
+func SpanArg(gen uint64, stage SpanStage, outcome SpanOutcome) uint64 {
+	return gen<<16 | uint64(stage)<<8 | uint64(outcome)
+}
+
+// SplitSpanArg unpacks SpanArg.
+func SplitSpanArg(arg uint64) (gen uint64, stage SpanStage, outcome SpanOutcome) {
+	return arg >> 16, SpanStage(arg >> 8 & 0xff), SpanOutcome(arg & 0xff)
 }
 
 func (k EventKind) String() string {
@@ -178,6 +242,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			_, err = fmt.Fprintf(w,
 				"{\"name\":\"translate 0x%x\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":1,\"args\":{\"page\":\"0x%x\",\"insts\":%d}}",
 				e.Page, e.Insts, max64(e.Arg, 1), e.Page, e.Arg)
+		} else if e.Kind == EvSpanBegin || e.Kind == EvSpanEnd {
+			// Async begin/end pairs keyed by (cat, id, name): one id per
+			// page journey, so warmup/translate/live stack on one track.
+			gen, stage, outcome := SplitSpanArg(e.Arg)
+			ph := "b"
+			if e.Kind == EvSpanEnd {
+				ph = "e"
+			}
+			_, err = fmt.Fprintf(w,
+				"{\"name\":%q,\"cat\":\"page\",\"ph\":%q,\"id\":\"0x%x.%d\",\"ts\":%d,\"pid\":1,\"tid\":1,\"args\":{\"page\":\"0x%x\",\"outcome\":%q}}",
+				stage.String(), ph, e.Page, gen, e.Insts, e.Page, outcome.String())
 		} else {
 			_, err = fmt.Fprintf(w,
 				"{\"name\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"pc\":\"0x%x\",\"page\":\"0x%x\",\"arg\":%d}}",

@@ -34,6 +34,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"time"
 
 	"daisy/internal/core"
 	"daisy/internal/mem"
@@ -50,6 +51,10 @@ type txJob struct {
 	epoch  uint64
 	digest [32]byte
 	snap   []byte
+
+	// enqueuedNs stamps the handoff for the pipeline latency histograms
+	// (host clock; one stamp per page translation, never per instruction).
+	enqueuedNs int64
 }
 
 // txResult is a finished (or failed) translation, pending publish.
@@ -58,6 +63,11 @@ type txResult struct {
 	pt    *core.PageTranslation
 	stats core.Stats
 	err   error
+
+	// Worker stamps bracketing the translation, for the queue-wait and
+	// translate latency histograms.
+	startedNs int64
+	doneNs    int64
 }
 
 // txPipeline owns the worker pool. The inflight set is touched only by
@@ -104,7 +114,11 @@ func (m *Machine) startPipeline() {
 				if p.testHold != nil {
 					<-p.testHold
 				}
-				p.done <- translateSnapshot(job, opt)
+				started := time.Now().UnixNano()
+				r := translateSnapshot(job, opt)
+				r.startedNs = started
+				r.doneNs = time.Now().UnixNano()
+				p.done <- r
 			}
 		}()
 	}
@@ -183,6 +197,9 @@ func (m *Machine) groupAsync(addr uint32) (*vliw.Group, error) {
 		return m.groupAt(addr)
 	}
 	m.hot[base]++
+	if m.tp != nil && m.hot[base] == 1 {
+		m.tp.spanFirstTouch(m, base)
+	}
 	if m.hot[base] < m.hotThreshold() {
 		return nil, nil
 	}
@@ -200,11 +217,12 @@ func (m *Machine) enqueue(base, entry uint32) {
 		return
 	}
 	job := txJob{
-		base:   base,
-		entry:  entry,
-		epoch:  m.epoch[base],
-		digest: sha256.Sum256(src),
-		snap:   append([]byte(nil), src...),
+		base:       base,
+		entry:      entry,
+		epoch:      m.epoch[base],
+		digest:     sha256.Sum256(src),
+		snap:       append([]byte(nil), src...),
+		enqueuedNs: time.Now().UnixNano(),
 	}
 	select {
 	case m.pipe.jobs <- job:
@@ -237,7 +255,7 @@ func (m *Machine) drainAsync() error {
 			}
 		default:
 			if m.tp != nil {
-				m.tp.queueDepth(len(m.pipe.jobs) + len(m.pipe.inflight))
+				m.tp.queueDepth(len(m.pipe.jobs), len(m.pipe.inflight))
 			}
 			return nil
 		}
@@ -271,6 +289,7 @@ func (m *Machine) publish(r txResult) error {
 	delete(m.hot, base)
 	if m.tp != nil {
 		m.tp.translated(m, r.job.entry, before)
+		m.tp.asyncLatency(r)
 		m.tp.asyncPublish(m, base)
 	}
 	if m.OnTranslate != nil {

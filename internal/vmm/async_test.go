@@ -13,6 +13,7 @@ import (
 	"daisy/internal/asm"
 	"daisy/internal/interp"
 	"daisy/internal/mem"
+	"daisy/internal/telemetry"
 	"daisy/internal/workload"
 )
 
@@ -88,6 +89,14 @@ func TestAsyncSoak(t *testing.T) {
 // returns it with the translation still in flight.
 func asyncLoopMachine(t *testing.T) (*Machine, uint32) {
 	t.Helper()
+	return asyncLoopMachineTel(t, nil)
+}
+
+// asyncLoopMachineTel is asyncLoopMachine with an optional telemetry
+// instance attached before the first step (the span tests need the hooks
+// live from the very first dispatch).
+func asyncLoopMachineTel(t *testing.T, tel *telemetry.Telemetry) (*Machine, uint32) {
+	t.Helper()
 	prog, err := asm.Assemble("_start:\taddi r1, r1, 1\n\tb _start\n")
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +111,9 @@ func asyncLoopMachine(t *testing.T) (*Machine, uint32) {
 	opt.AsyncQueueDepth = 1
 	opt.HotThreshold = 1
 	m := New(mm, &interp.Env{}, opt)
+	if tel != nil {
+		m.AttachTelemetry(tel)
+	}
 	// Installed before the first enqueue: the job-channel send orders this
 	// write before the worker's read.
 	m.pipe.testHold = make(chan struct{}, 16)

@@ -406,6 +406,7 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before.Groups
 	if m.tp != nil {
 		m.tp.translated(m, addr, before)
+		m.tp.spanLiveSync(m, base)
 	}
 	if m.OnTranslate != nil {
 		m.OnTranslate(pt)
@@ -448,6 +449,9 @@ func (m *Machine) invalidate(base uint32) {
 	// no published translation yet but still have one in flight, and that
 	// result must not land after this invalidation.
 	m.bumpEpoch(base)
+	if m.tp != nil {
+		m.tp.spanInvalidate(m, base)
+	}
 	pt, ok := m.pages[base]
 	if !ok {
 		return
@@ -583,7 +587,9 @@ func (m *Machine) runGroup() (bool, error) {
 		startPC := m.St.PC
 		beforeExec := m.Exec.Stats
 		beforeFollows := m.Stats.ChainFollows
+		m.tp.profBegin(m)
 		halt, err := m.runGroupLoop()
+		m.tp.profEnd(m)
 		m.Stats.Exec = m.Exec.Stats
 		d := m.Exec.Stats.Sub(beforeExec)
 		m.tp.dispatchRun(m, startPC, d.BaseInsts, d.VLIWs, m.Stats.ChainFollows-beforeFollows)
@@ -684,6 +690,7 @@ func (m *Machine) runGroupLoop() (bool, error) {
 			// recency can interleave before the next real dispatch.)
 			if exit.Chain != nil && chainOK {
 				m.Stats.ChainFollows++
+				m.profFlushGroup() // attribute the group we are leaving
 				m.curGroup = exit.Chain
 				m.Exec.ResetPath()
 				m.checkpoint(exit.Chain.Entry)
@@ -714,6 +721,7 @@ func (m *Machine) runGroupLoop() (bool, error) {
 					}
 				}
 			}
+			m.profFlushGroup() // after the patch above, which reads the step log
 			m.curGroup = ng
 			m.Exec.ResetPath()
 			m.checkpoint(ng.Entry)

@@ -1,0 +1,204 @@
+package vmm
+
+// Guest-time attribution (the VMM half of the profiler; the aggregate and
+// its exporters live in internal/telemetry). On a sampled dispatch the
+// probe replays the executor's compressed step log with the §3.5 scan
+// walk — the same machinery exception recovery uses — and charges every
+// attempted VLIW issue cycle and every completed base instruction back to
+// the base-architecture PC responsible. Where the walk derails (an
+// indirect branch whose target the walk cannot reconstruct), it resyncs
+// from the parcel's recorded originating address, so attribution never
+// silently drifts.
+//
+// Cost model: unsampled dispatches pay one extra bool check at each group
+// transition; the walk itself runs only on the 1-in-N sampled runs and
+// only when Options.Profile is set.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"daisy/internal/ppc"
+	"daisy/internal/telemetry"
+	"daisy/internal/vliw"
+)
+
+// profBegin marks the dispatch run that is starting as attributed. The
+// step log is cleared so stale steps from unsampled runs are never
+// charged; runGroupLoop resets it again at each group entry, making the
+// log exactly "the path since the last flush point".
+func (p *telProbe) profBegin(m *Machine) {
+	if p.prof == nil {
+		return
+	}
+	p.profRun = true
+	p.profBuf = p.profBuf[:0]
+	for k := range p.profIdx {
+		delete(p.profIdx, k)
+	}
+	m.Exec.ResetPath()
+	p.profT0 = time.Now()
+}
+
+// profEnd flushes the final group's path and folds the run into the
+// profile, distributing the run's wall time across its PCs by cycle share.
+func (p *telProbe) profEnd(m *Machine) {
+	if !p.profRun {
+		return
+	}
+	m.profCharge()
+	p.profRun = false
+	p.prof.AddRun(p.profBuf, uint64(time.Since(p.profT0).Nanoseconds()))
+}
+
+// profFlushGroup charges the current group's accumulated path. The group
+// transitions in runGroupLoop call it immediately before each ResetPath,
+// so a chained or intra-page-hopped run attributes every group it crossed.
+func (m *Machine) profFlushGroup() {
+	if m.tp == nil || !m.tp.profRun {
+		return
+	}
+	m.profCharge()
+}
+
+// charge accumulates one attribution into the run's scratch buffer.
+func (p *telProbe) charge(pc uint32, cycles, insts uint64) {
+	i, ok := p.profIdx[pc]
+	if !ok {
+		i = len(p.profBuf)
+		p.profIdx[pc] = i
+		p.profBuf = append(p.profBuf, telemetry.PCCharge{PC: pc})
+	}
+	p.profBuf[i].Cycles += cycles
+	p.profBuf[i].Insts += insts
+}
+
+// profCharge replays the step log for the current group. Each step is one
+// Exec call — exactly one Stats.Cycles increment — so at sample=1 the
+// profile's cycle total matches the machine's dispatch cycle count.
+func (m *Machine) profCharge() {
+	p := m.tp
+	g := m.curGroup
+	steps := m.Exec.Steps
+	if g == nil || len(steps) == 0 {
+		return
+	}
+	w := &scanWalker{m: m, pc: g.Entry, ok: true}
+	lost := false
+	for _, s := range steps {
+		if int(s.VLIWID) >= len(g.VLIWs) {
+			continue
+		}
+		v := g.VLIWs[s.VLIWID]
+		// The VLIW's issue cycle goes to the base instruction in progress
+		// at its entry; after a derail, the VLIW's own entry offset is the
+		// precise fallback (it is a base-instruction boundary, Chapter 2).
+		cpc := w.pc
+		if lost {
+			cpc = v.EntryBase
+		}
+		p.charge(cpc, 1, 0)
+
+		m.scanBuf = vliw.StepNodes(m.scanBuf[:0], g, s)
+		for i, n := range m.scanBuf {
+			for k := range n.Ops {
+				if !n.Ops[k].EndsInst {
+					continue
+				}
+				// Resync from the parcel's recorded origin when the walk
+				// derailed or disagrees (a split optimized to its
+				// unconditional form makes the walk guess).
+				if ba := n.Ops[k].BaseAddr; ba != 0 && (lost || ba != w.pc) {
+					w.pc = ba
+					lost = false
+				}
+				ipc := w.pc
+				if lost {
+					ipc = v.EntryBase
+				}
+				p.charge(ipc, 0, 1)
+				if !lost && !w.advance() {
+					lost = true
+				}
+			}
+			if n.Cond != nil && i+1 < len(m.scanBuf) {
+				w.dirs = append(w.dirs, m.scanBuf[i+1] == n.Taken)
+			}
+		}
+	}
+}
+
+// AnnotatedDisassembly renders the page at base side by side: each base
+// instruction (decoded from the unmodified program image) with its
+// attributed cycles and share on the left, the VLIW parcels scheduled
+// from it on the right — the profiler's answer to "what did the
+// translator do with my hot loop?".
+func (m *Machine) AnnotatedDisassembly(prof *telemetry.Profile, base uint32) string {
+	base &^= m.Trans.Opt.PageSize - 1
+	samples := make(map[uint32]telemetry.PCSample)
+	var total uint64
+	for _, s := range prof.Samples() {
+		samples[s.PC] = s
+		total += s.Cycles
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "annotated disassembly: page 0x%08x\n", base)
+	pt, ok := m.pages[base]
+	if !ok {
+		b.WriteString("  (page not translated)\n")
+		return b.String()
+	}
+	for _, entry := range pt.Order {
+		g := pt.Groups[entry]
+		if g == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\ngroup @0x%08x (%d VLIWs, %d base insts)\n", g.Entry, len(g.VLIWs), g.BaseInsts)
+		byPC := make(map[uint32][]string)
+		var pcs []uint32
+		for _, v := range g.VLIWs {
+			var walk func(n *vliw.Node)
+			walk = func(n *vliw.Node) {
+				if n == nil {
+					return
+				}
+				for k := range n.Ops {
+					pc := n.Ops[k].BaseAddr
+					if _, seen := byPC[pc]; !seen {
+						pcs = append(pcs, pc)
+					}
+					byPC[pc] = append(byPC[pc], fmt.Sprintf("V%d: %s", v.ID, n.Ops[k].String()))
+				}
+				if n.Cond != nil {
+					walk(n.Taken)
+					walk(n.Fall)
+				}
+			}
+			walk(v.Root)
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		for _, pc := range pcs {
+			dis := "(synthetic)"
+			if pc != 0 {
+				if word, err := m.Mem.Read32(pc); err == nil {
+					dis = ppc.Decode(word).String()
+				} else {
+					dis = "??"
+				}
+			}
+			s := samples[pc]
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(s.Cycles) / float64(total)
+			}
+			lines := byPC[pc]
+			fmt.Fprintf(&b, "  %9d %5.1f%%  0x%08x  %-26s | %s\n", s.Cycles, pct, pc, dis, lines[0])
+			for _, l := range lines[1:] {
+				fmt.Fprintf(&b, "  %9s %6s  %10s  %-26s | %s\n", "", "", "", "", l)
+			}
+		}
+	}
+	return b.String()
+}

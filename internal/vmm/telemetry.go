@@ -12,6 +12,7 @@ package vmm
 // per-boundary instrumentation is sampled 1-in-N.
 
 import (
+	"sort"
 	"time"
 
 	"daisy/internal/core"
@@ -38,12 +39,45 @@ type telProbe struct {
 	cTransNs    *telemetry.Counter
 	cExecNs     *telemetry.Counter
 
-	gAsyncQueue *telemetry.Gauge
+	gAsyncQueue    *telemetry.Gauge
+	gAsyncInflight *telemetry.Gauge
+
+	// Guest attribution profiler (profile.go). prof is nil unless the
+	// attached instance enables it; the scratch buffers accumulate one
+	// sampled dispatch run's per-PC charges without reallocating.
+	prof    *telemetry.Profile
+	profRun bool // the dispatch run in progress is being attributed
+	profT0  time.Time
+	profBuf []telemetry.PCCharge
+	profIdx map[uint32]int // PC -> index into profBuf
+
+	// Page-lifecycle span tracing. spansOn caches Options.Spans; spans
+	// holds each page's open-stage state, touched only on the (rare,
+	// page-granular) lifecycle paths and only by the machine goroutine.
+	spansOn       bool
+	spans         map[uint32]*pageSpan
+	hQueueWait    *telemetry.Histogram
+	hTranslate    *telemetry.Histogram
+	hPublishDelay *telemetry.Histogram
 
 	// Mirrored Stats counters: prev holds the value already pushed, so a
 	// sync adds only the delta (counters are monotonic).
 	mirror []statMirror
 }
+
+// pageSpan is one page's position in its lifecycle journey. gen is the
+// span generation: warmup -> translate -> live share one generation (they
+// are one journey), and each fresh journey of the same page bumps it, so
+// Chrome trace span IDs ("0x<page>.<gen>") never collide across
+// retranslations.
+type pageSpan struct {
+	gen   uint64
+	stage telemetry.SpanStage
+	open  bool
+}
+
+// spanAnyStage makes spanEnd close whatever stage is open.
+const spanAnyStage = telemetry.SpanStage(0xff)
 
 type statMirror struct {
 	c    *telemetry.Counter
@@ -59,11 +93,17 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 		return
 	}
 	n := uint64(tel.SampleEvery())
+	// Sampling is 1-in-N with the FIRST occurrence observed: both countdowns
+	// start at 1, then reload to N after each sample. Starting the boundary
+	// countdown at N (as an earlier revision did) meant a run shorter than N
+	// VLIW boundaries produced no boundary events at all and every histogram
+	// missed its cold-start window — the first sample must not wait a full
+	// period from attach.
 	p := &telProbe{
 		tel:         tel,
 		sampleEvery: n,
-		dispatchCD:  1, // sample the first dispatch so short runs observe something
-		boundaryCD:  n,
+		dispatchCD:  1,
+		boundaryCD:  1,
 		attached:    time.Now(),
 
 		hILP:      tel.Histogram(telemetry.HILPPerGroup, telemetry.BoundsILP),
@@ -76,7 +116,20 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 		cTransNs:    tel.TimeCounter(telemetry.MTranslateNs),
 		cExecNs:     tel.TimeCounter(telemetry.MExecuteNs),
 
-		gAsyncQueue: tel.Gauge(telemetry.GAsyncQueue),
+		gAsyncQueue:    tel.Gauge(telemetry.GAsyncQueue),
+		gAsyncInflight: tel.Gauge(telemetry.GAsyncInflight),
+	}
+	if prof := tel.Profile(); prof != nil {
+		p.prof = prof
+		prof.SetPageSize(m.Trans.Opt.PageSize)
+		p.profIdx = make(map[uint32]int)
+	}
+	if tel.SpansEnabled() {
+		p.spansOn = true
+		p.spans = make(map[uint32]*pageSpan)
+		p.hQueueWait = tel.TimeHistogram(telemetry.HSpanQueueWaitNs, telemetry.BoundsSpanNs)
+		p.hTranslate = tel.TimeHistogram(telemetry.HSpanTranslateNs, telemetry.BoundsSpanNs)
+		p.hPublishDelay = tel.TimeHistogram(telemetry.HSpanPublishDelayNs, telemetry.BoundsSpanNs)
 	}
 	mk := func(name string, read func(*Machine) uint64) {
 		p.mirror = append(p.mirror, statMirror{c: tel.Counter(name), read: read})
@@ -121,6 +174,7 @@ func (m *Machine) SyncTelemetry() {
 	if m.tp == nil {
 		return
 	}
+	m.tp.closeSpans(m)
 	m.tp.syncStats(m)
 	elapsed := uint64(time.Since(m.tp.attached).Nanoseconds())
 	trans := m.tp.cTransNs.Value()
@@ -225,11 +279,15 @@ func (p *telProbe) castOut(m *Machine, base uint32) {
 
 func (p *telProbe) quarantined(m *Machine, base uint32, backoff uint64) {
 	p.tel.Event(telemetry.EvQuarantine, m.instClock(), base, base, backoff)
+	// The engaging invalidate already closed the live span; quarantine is a
+	// fresh journey on the page's track.
+	p.spanBegin(m, base, telemetry.StageQuarantine, true)
 }
 
 func (p *telProbe) quarantineReleased(m *Machine, base uint32, dwell uint64) {
 	p.hDwell.Observe(float64(dwell))
 	p.tel.Event(telemetry.EvQuarantineOff, m.instClock(), base, base, dwell)
+	p.spanEnd(m, base, telemetry.StageQuarantine, telemetry.OutcomeReleased)
 }
 
 // Async-pipeline events are rare (page-granular, not instruction-granular)
@@ -237,22 +295,153 @@ func (p *telProbe) quarantineReleased(m *Machine, base uint32, dwell uint64) {
 
 func (p *telProbe) asyncEnqueue(m *Machine, base uint32) {
 	p.tel.Event(telemetry.EvAsyncEnqueue, m.instClock(), base, base, 0)
+	p.spanEnd(m, base, telemetry.StageWarmup, telemetry.OutcomeNone)
+	p.spanBegin(m, base, telemetry.StageTranslate, false)
 }
 
 func (p *telProbe) asyncPublish(m *Machine, base uint32) {
 	p.tel.Event(telemetry.EvAsyncPublish, m.instClock(), base, base, 0)
+	p.spanEnd(m, base, telemetry.StageTranslate, telemetry.OutcomePublished)
+	p.spanBegin(m, base, telemetry.StageLive, false)
 }
 
 func (p *telProbe) asyncStale(m *Machine, base uint32) {
 	p.tel.Event(telemetry.EvAsyncStale, m.instClock(), base, base, 0)
+	// No-op when the invalidation that staled the result already closed the
+	// translate span.
+	p.spanEnd(m, base, telemetry.StageTranslate, telemetry.OutcomeStale)
 }
 
 func (p *telProbe) cacheHit(m *Machine, base uint32) {
 	p.tel.Event(telemetry.EvCacheHit, m.instClock(), base, base, 0)
+	if !p.spansOn {
+		return
+	}
+	// On the async path a warmup span is open and the hit cuts it short; a
+	// synchronous machine's hit starts the page's journey directly at live.
+	s := p.spans[base]
+	cont := s != nil && s.open && s.stage == telemetry.StageWarmup
+	if cont {
+		p.spanEnd(m, base, telemetry.StageWarmup, telemetry.OutcomeCached)
+	}
+	p.spanBegin(m, base, telemetry.StageLive, !cont)
 }
 
-// queueDepth publishes the pipeline's current backlog (queued + in-flight
-// pages) after each drain.
-func (p *telProbe) queueDepth(n int) {
-	p.gAsyncQueue.Set(float64(n))
+// asyncLatency feeds the per-stage pipeline histograms from one published
+// result's host-clock stamps (time-based metrics, zeroed by Canonical).
+func (p *telProbe) asyncLatency(r txResult) {
+	if !p.spansOn {
+		return
+	}
+	if r.startedNs >= r.job.enqueuedNs {
+		p.hQueueWait.Observe(float64(r.startedNs - r.job.enqueuedNs))
+	}
+	if r.doneNs >= r.startedNs {
+		p.hTranslate.Observe(float64(r.doneNs - r.startedNs))
+	}
+	if now := time.Now().UnixNano(); now >= r.doneNs {
+		p.hPublishDelay.Observe(float64(now - r.doneNs))
+	}
+}
+
+// queueDepth publishes the pipeline's current backlog after each drain:
+// queued is the job channel's depth, inflight the pages a worker owns.
+func (p *telProbe) queueDepth(queued, inflight int) {
+	p.gAsyncQueue.Set(float64(queued))
+	if inflight < queued {
+		inflight = queued
+	}
+	p.gAsyncInflight.Set(float64(inflight - queued))
+}
+
+// ---- Page-lifecycle spans ----
+//
+// The span methods run only on the machine goroutine and only on the rare
+// page-lifecycle paths; every one starts with the spansOn check, so a
+// machine without -spans pays a single predictable branch.
+
+// spanFirstTouch opens a warmup span when the tiering policy first counts
+// a dispatch into a cold page (groupAsync, hot count 0 -> 1).
+func (p *telProbe) spanFirstTouch(m *Machine, base uint32) {
+	p.spanBegin(m, base, telemetry.StageWarmup, true)
+}
+
+// spanLiveSync opens a live span for a synchronously built page (pageFor);
+// sync machines have no warmup or translate stages.
+func (p *telProbe) spanLiveSync(m *Machine, base uint32) {
+	p.spanBegin(m, base, telemetry.StageLive, true)
+}
+
+// spanInvalidate closes whatever stage is open when a page's translation
+// dies: a live span (SMC, cast-out, quarantine engage, adaptive
+// retranslation) or an in-flight translate span (the later stale drop then
+// finds the span already closed).
+func (p *telProbe) spanInvalidate(m *Machine, base uint32) {
+	p.spanEnd(m, base, spanAnyStage, telemetry.OutcomeInvalidated)
+}
+
+// spanBegin opens a stage span on the page's track. newJourney bumps the
+// page's span generation; stage transitions inside one journey
+// (warmup -> translate -> live) keep it, so the three stages share a
+// Chrome trace span ID and read as one flow.
+func (p *telProbe) spanBegin(m *Machine, base uint32, stage telemetry.SpanStage, newJourney bool) {
+	if !p.spansOn {
+		return
+	}
+	s := p.spans[base]
+	if s == nil {
+		s = &pageSpan{}
+		p.spans[base] = s
+	}
+	if s.open {
+		// Defensive: never stack an unmatched begin on an open span.
+		p.tel.Event(telemetry.EvSpanEnd, m.instClock(), base, base,
+			telemetry.SpanArg(s.gen, s.stage, telemetry.OutcomeNone))
+		s.open = false
+	}
+	if newJourney || s.gen == 0 {
+		s.gen++
+	}
+	s.stage = stage
+	s.open = true
+	p.tel.Event(telemetry.EvSpanBegin, m.instClock(), base, base,
+		telemetry.SpanArg(s.gen, stage, telemetry.OutcomeNone))
+}
+
+// spanEnd closes the page's open span when it is in wantStage (or
+// unconditionally for spanAnyStage). Closing a closed span is a no-op, so
+// the invalidate/stale and invalidate/invalidate orderings stay balanced.
+func (p *telProbe) spanEnd(m *Machine, base uint32, wantStage telemetry.SpanStage, outcome telemetry.SpanOutcome) {
+	if !p.spansOn {
+		return
+	}
+	s := p.spans[base]
+	if s == nil || !s.open {
+		return
+	}
+	if wantStage != spanAnyStage && s.stage != wantStage {
+		return
+	}
+	s.open = false
+	p.tel.Event(telemetry.EvSpanEnd, m.instClock(), base, base,
+		telemetry.SpanArg(s.gen, s.stage, outcome))
+}
+
+// closeSpans ends every still-open span with OutcomeOpen (in page order,
+// for deterministic traces) so an exported trace never has an unmatched
+// begin. SyncTelemetry calls it once the run is over.
+func (p *telProbe) closeSpans(m *Machine) {
+	if !p.spansOn {
+		return
+	}
+	bases := make([]uint32, 0, len(p.spans))
+	for b, s := range p.spans {
+		if s.open {
+			bases = append(bases, b)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, b := range bases {
+		p.spanEnd(m, b, spanAnyStage, telemetry.OutcomeOpen)
+	}
 }
