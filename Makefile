@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot race-async chaos-smoke bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
+.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
 
 all: build
 
@@ -36,6 +36,14 @@ race-async:
 chaos-smoke:
 	$(GO) run ./cmd/daisy-chaos -seed 1 -seeds 2
 
+# Crash-safety soak: the full seeded injector matrix — including the
+# worker-panic/hang/overflow/stale-publish and cache-I/O injectors —
+# under the race detector. Every injected fault must surface as a
+# counted degradation with zero divergences; any failure is replayable
+# from the printed (workload, injector, seed) triple.
+chaos-soak:
+	$(GO) run -race ./cmd/daisy-chaos -seed 1 -seeds 4
+
 # Compile and exercise the perf-path benchmarks once so a regression that
 # breaks them is caught in CI, not at the next perf investigation. The
 # pattern matches both the bare executor and the telemetry-attached variant.
@@ -59,7 +67,7 @@ cover-update:
 	$(GO) run ./cmd/daisy-cover -profile cover.out -update
 	@echo "commit COVERAGE.txt to ratchet the floor"
 
-ci: vet build race race-hot race-async chaos-smoke bench-smoke profile-smoke cover
+ci: vet build race race-hot race-async chaos-smoke chaos-soak bench-smoke profile-smoke cover
 
 # Run the full benchmark suite once and archive the parsed metrics as a
 # dated JSON snapshot — the repository's perf trajectory. Compare two

@@ -72,7 +72,10 @@ func run(wlName string, scale int, configName string, sample int, maxInsts uint6
 	opt := daisy.DefaultOptions()
 	opt.Trans.Config = cfg
 	opt.AsyncTranslate = async
-	ma := daisy.NewMachine(m, &daisy.Env{In: w.Input(scale)}, opt)
+	ma, err := daisy.NewMachine(m, &daisy.Env{In: w.Input(scale)}, opt)
+	if err != nil {
+		return err
+	}
 	defer ma.Close()
 
 	tel := daisy.NewTelemetry(daisy.TelemetryOptions{SampleEvery: sample, Profile: true})

@@ -142,7 +142,10 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 		return err
 	}
 	env := &daisy.Env{In: input}
-	ma := daisy.NewMachine(m, env, opt)
+	ma, err := daisy.NewMachine(m, env, opt)
+	if err != nil {
+		return err
+	}
 	defer ma.Close()
 	tel, finish, err := ob.Setup()
 	if err != nil {

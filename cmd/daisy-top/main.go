@@ -80,7 +80,10 @@ func run(wlName string, scale int, configName string, sample int,
 		}
 		opt.Cache = cache
 	}
-	ma := daisy.NewMachine(m, &daisy.Env{In: w.Input(scale)}, opt)
+	ma, err := daisy.NewMachine(m, &daisy.Env{In: w.Input(scale)}, opt)
+	if err != nil {
+		return err
+	}
 	defer ma.Close()
 
 	tel := daisy.NewTelemetry(daisy.TelemetryOptions{SampleEvery: sample, TraceCap: 1 << 16, Profile: profile})

@@ -1,0 +1,151 @@
+// daisy-txcache maintains a persistent translation-cache directory (the
+// store behind MachineOptions.Cache). The cache is crash-safe by design —
+// a running machine treats every damaged or oversized entry as a counted
+// miss — so none of these commands is ever required for correctness; they
+// exist to inspect a directory, reclaim space, and clean up the debris
+// (torn writes, orphaned temp files, foreign-version entries) that
+// crashes and translator upgrades leave behind.
+//
+// Usage:
+//
+//	daisy-txcache stat -dir DIR                 # entry count, bytes, health summary
+//	daisy-txcache fsck -dir DIR [-repair]       # validate every entry; -repair deletes bad ones
+//	daisy-txcache gc   -dir DIR -max-bytes N    # evict least-recently-used entries past N bytes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"daisy/internal/txcache"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "stat":
+		err = runStat(args)
+	case "fsck":
+		err = runFsck(args)
+	case "gc":
+		err = runGC(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "daisy-txcache: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "daisy-txcache:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  daisy-txcache stat -dir DIR                # entry count, bytes, health summary
+  daisy-txcache fsck -dir DIR [-repair]      # validate every entry against the Load path
+  daisy-txcache gc   -dir DIR -max-bytes N   # evict least-recently-used entries past N bytes`)
+}
+
+// open validates and opens the cache directory. Unlike a machine run —
+// which must shrug off a missing or unwritable directory — a maintenance
+// tool pointed at a directory that does not exist should say so, not
+// create an empty cache and report it healthy.
+func open(dir string) (*txcache.Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-dir is required")
+	}
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("%s: not a directory", dir)
+	}
+	return txcache.Open(dir)
+}
+
+func runStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	dir := fs.String("dir", "", "cache directory")
+	fs.Parse(args)
+	if _, err := open(*dir); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(*dir)
+	if err != nil {
+		return err
+	}
+	var entries, tmp, other int
+	var bytes int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".dtx":
+			entries++
+			bytes += info.Size()
+		case ".tmp":
+			tmp++
+		default:
+			other++
+		}
+	}
+	fmt.Printf("%s: %d entries, %d bytes\n", *dir, entries, bytes)
+	if tmp > 0 {
+		fmt.Printf("  %d orphaned .tmp file(s) from interrupted writes (fsck -repair removes them)\n", tmp)
+	}
+	if other > 0 {
+		fmt.Printf("  %d unrelated file(s) (ignored by the cache)\n", other)
+	}
+	return nil
+}
+
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dir := fs.String("dir", "", "cache directory")
+	repair := fs.Bool("repair", false, "delete invalid entries and orphaned temp files")
+	fs.Parse(args)
+	s, err := open(*dir)
+	if err != nil {
+		return err
+	}
+	rep := s.Fsck(*repair)
+	fmt.Println(rep)
+	if rep.Bad() && !*repair {
+		return fmt.Errorf("store has invalid entries (rerun with -repair to delete them)")
+	}
+	return nil
+}
+
+func runGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	dir := fs.String("dir", "", "cache directory")
+	maxBytes := fs.Int64("max-bytes", -1, "shrink the store to at most this many payload bytes")
+	fs.Parse(args)
+	if *maxBytes < 0 {
+		return fmt.Errorf("-max-bytes is required")
+	}
+	s, err := open(*dir)
+	if err != nil {
+		return err
+	}
+	removed, freed, err := s.GC(*maxBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: removed %d entries, freed %d bytes\n", *dir, removed, freed)
+	return nil
+}

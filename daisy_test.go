@@ -26,7 +26,10 @@ loop:	addi r3, r3, 5
 		t.Fatal(err)
 	}
 	env := &Env{}
-	machine := NewMachine(m, env, DefaultOptions())
+	machine, err := NewMachine(m, env, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := machine.Run(prog.Entry(), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +99,7 @@ func TestPublicChaos(t *testing.T) {
 	if !rep.Halted {
 		t.Fatal("workload did not halt")
 	}
-	if len(ChaosInjectors()) != 5 {
-		t.Fatalf("expected 5 injectors, got %d", len(ChaosInjectors()))
+	if len(ChaosInjectors()) != 13 {
+		t.Fatalf("expected 13 injectors, got %d", len(ChaosInjectors()))
 	}
 }

@@ -62,7 +62,10 @@ func run(w io.Writer) error {
 	m2 := daisy.NewMemory(1 << 20)
 	_ = prog.Load(m2)
 	m2.InjectFault(0x80000, false)
-	ma := daisy.NewMachine(m2, &daisy.Env{}, daisy.DefaultOptions())
+	ma, err := daisy.NewMachine(m2, &daisy.Env{}, daisy.DefaultOptions())
+	if err != nil {
+		return err
+	}
 	ma.OnFault = func(fv *vliw.Fault, scanPC uint32) {
 		groupPC, _ := ma.ScanFaultFromGroupEntry(fv)
 		fmt.Fprintf(w, "VMM: VLIW%d rolled back to boundary %#x; §3.5 scan -> %#x (per-VLIW) / %#x (group-entry walk)\n",

@@ -90,7 +90,10 @@ func run(w io.Writer) error {
 	}
 	opt := daisy.DefaultOptions()
 	opt.GuestFaultVectors = true
-	ma := vmm.New(m, &daisy.Env{}, opt)
+	ma, err := vmm.NewMachine(m, &daisy.Env{}, opt)
+	if err != nil {
+		return err
+	}
 	if err := ma.Run(prog.Entry(), 0); err != nil {
 		return err
 	}

@@ -34,7 +34,10 @@ func run(w io.Writer) error {
 	if err := prog.Load(m); err != nil {
 		return err
 	}
-	ma := vmm.New(m, &daisy.Env{In: input}, vmm.DefaultOptions())
+	ma, err := vmm.NewMachine(m, &daisy.Env{In: input}, vmm.DefaultOptions())
+	if err != nil {
+		return err
+	}
 	if err := ma.Run(prog.Entry(), 0); err != nil {
 		return err
 	}

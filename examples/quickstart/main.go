@@ -70,7 +70,10 @@ func run(w io.Writer) error {
 	if err := p.Load(mm); err != nil {
 		return err
 	}
-	ma := daisy.NewMachine(mm, &daisy.Env{}, daisy.DefaultOptions())
+	ma, err := daisy.NewMachine(mm, &daisy.Env{}, daisy.DefaultOptions())
+	if err != nil {
+		return err
+	}
 	if err := ma.Run(p.Entry(), 0); err != nil {
 		return err
 	}

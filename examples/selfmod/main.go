@@ -39,7 +39,10 @@ func run(w io.Writer) error {
 	if err := prog.Load(m); err != nil {
 		return err
 	}
-	ma := daisy.NewMachine(m, &daisy.Env{}, daisy.DefaultOptions())
+	ma, err := daisy.NewMachine(m, &daisy.Env{}, daisy.DefaultOptions())
+	if err != nil {
+		return err
+	}
 	if err := ma.Run(prog.Entry(), 0); err != nil {
 		return err
 	}

@@ -179,7 +179,10 @@ func (sc *Scenario) build() (*vmm.Machine, *interp.Interp, uint32, error) {
 	if err := prog.Load(mm); err != nil {
 		return nil, nil, 0, err
 	}
-	ma := vmm.New(mm, &interp.Env{In: in}, opt)
+	ma, err := vmm.NewMachine(mm, &interp.Env{In: in}, opt)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	if sc.Telemetry != nil {
 		ma.AttachTelemetry(sc.Telemetry)
 	}

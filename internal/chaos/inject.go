@@ -3,8 +3,10 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"daisy/internal/mem"
+	"daisy/internal/txcache"
 	"daisy/internal/vmm"
 )
 
@@ -39,6 +41,14 @@ func Injectors() []Injector {
 		smcStorm{},
 		castOutChurn{},
 		interpStarve{},
+		workerPanic{},
+		workerHang{},
+		queueOverflow{},
+		stalePublish{},
+		&cacheBitFlip{},
+		&cacheSkew{},
+		&cacheENOSPC{},
+		&cacheShortWrite{},
 	}
 }
 
@@ -155,4 +165,218 @@ func (interpStarve) Arm(m *vmm.Machine, rng *rand.Rand) {
 		m.Stats.InjectedFaults++
 		return &mem.Fault{Addr: addr, Write: write, Kind: mem.FaultInjected}
 	}
+}
+
+// ---- Async-pipeline crash injectors ----
+//
+// These arm the Machine.FaultTranslation seam, which the VMM consults on
+// the machine goroutine — at enqueue time for worker jobs, at call time
+// for synchronous translations — so every random draw happens in machine
+// order, never worker order. The faults themselves land inside the
+// recover/watchdog barriers of vmm/guard.go and vmm/async.go, which is
+// exactly the machinery under test: each one must degrade to counted
+// interpretation, never to a guest-visible difference.
+//
+// Async machines publish translations at timing-dependent boundaries, so
+// per-run event sequences (and therefore the exact draw sequence) can
+// differ between the lockstep run and a bisection replay. The lockstep
+// assertion itself does not care — each run is internally consistent and
+// must be divergence-free by construction — but a bisection of a real bug
+// found under these injectors is best-effort rather than exact.
+
+// workerPanic makes a fraction of translation attempts panic inside the
+// translator. The recover barrier must convert each one into an
+// interpret-only quarantine of the page (Stats.TranslatorPanics) with the
+// guest output byte-identical.
+type workerPanic struct{}
+
+func (workerPanic) Name() string { return "worker-panic" }
+func (workerPanic) Tune(opt *vmm.Options) {
+	opt.AsyncTranslate = true
+	opt.AsyncWorkers = 1
+	opt.HotThreshold = 1
+}
+func (workerPanic) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.FaultTranslation = func(base uint32) *vmm.TranslationFault {
+		if rng.Intn(3) != 0 {
+			return nil
+		}
+		m.Stats.InjectedFaults++
+		return &vmm.TranslationFault{Panic: true}
+	}
+}
+
+// workerHang stalls a fraction of worker translations past the watchdog
+// deadline: the job must be abandoned (Stats.AsyncAbandons), a
+// replacement worker spawned, the page rescheduled through the retry
+// backoff, and the late result dropped by its seq (Stats.AsyncLateDrops)
+// if it ever arrives.
+type workerHang struct{}
+
+func (workerHang) Name() string { return "worker-hang" }
+func (workerHang) Tune(opt *vmm.Options) {
+	opt.AsyncTranslate = true
+	opt.AsyncWorkers = 1
+	opt.HotThreshold = 1
+	opt.AsyncDeadline = 2 * time.Millisecond
+}
+func (workerHang) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.FaultTranslation = func(base uint32) *vmm.TranslationFault {
+		if rng.Intn(6) != 0 {
+			return nil
+		}
+		m.Stats.InjectedFaults++
+		// 1–5ms: some hangs finish inside the 2ms deadline, some are
+		// abandoned — both sides of the watchdog race get exercised.
+		return &vmm.TranslationFault{Hang: time.Duration(1+rng.Intn(5)) * time.Millisecond}
+	}
+}
+
+// queueOverflow throttles the pipeline to one worker and a one-slot queue
+// while short hangs keep that worker busy, so enqueues constantly hit the
+// full queue. Backpressure must hold: pages just stay interpretive
+// (Stats.AsyncQueueFull) and retry at a later dispatch.
+type queueOverflow struct{}
+
+func (queueOverflow) Name() string { return "queue-overflow" }
+func (queueOverflow) Tune(opt *vmm.Options) {
+	opt.AsyncTranslate = true
+	opt.AsyncWorkers = 1
+	opt.AsyncQueueDepth = 1
+	opt.HotThreshold = 1
+}
+func (queueOverflow) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.FaultTranslation = func(base uint32) *vmm.TranslationFault {
+		if rng.Intn(2) != 0 {
+			return nil
+		}
+		m.Stats.InjectedFaults++
+		return &vmm.TranslationFault{Hang: time.Millisecond}
+	}
+}
+
+// stalePublish races in-flight translations against invalidation: pages
+// with a worker job outstanding are marked self-modified, so the epoch
+// check must drop the result on arrival (Stats.StaleTranslationsDropped)
+// rather than publish a translation of dead bytes.
+type stalePublish struct{}
+
+func (stalePublish) Name() string { return "stale-publish" }
+func (stalePublish) Tune(opt *vmm.Options) {
+	opt.AsyncTranslate = true
+	opt.AsyncWorkers = 1
+	opt.HotThreshold = 1
+	opt.MaxPages = 2
+}
+func (stalePublish) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.OnGroupStart = func(pc uint32) {
+		if rng.Intn(8) != 0 {
+			return
+		}
+		inflight := m.InflightPages()
+		if len(inflight) == 0 {
+			return
+		}
+		m.InjectSMC(inflight[rng.Intn(len(inflight))])
+		m.Stats.InjectedFaults++
+	}
+}
+
+// ---- Persistent-cache I/O injectors ----
+//
+// Each build gets a fresh in-memory store (Tune runs once per machine
+// construction), so the lockstep run and both bisection replays see
+// identical cache state evolution. MaxPages=2 keeps cast-outs frequent,
+// so evicted pages keep coming back through the cache-load path and
+// damaged entries are actually read, not just written.
+
+// cacheBitFlip flips bytes inside stored entries. Every read of a damaged
+// entry must degrade to a counted corrupt miss and a fresh translation.
+type cacheBitFlip struct{ store *txcache.Store }
+
+func (*cacheBitFlip) Name() string { return "cache-bitflip" }
+func (c *cacheBitFlip) Tune(opt *vmm.Options) {
+	c.store = txcache.OpenMemory()
+	opt.Cache = c.store
+	opt.MaxPages = 2
+}
+func (c *cacheBitFlip) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.OnGroupStart = func(pc uint32) {
+		if rng.Intn(64) != 0 {
+			return
+		}
+		if n := c.store.Corrupt(); n > 0 {
+			m.Stats.InjectedFaults++
+		}
+	}
+}
+
+// cacheSkew rewrites stored entries to a foreign format version,
+// simulating a cache directory shared with a different translator build.
+// Reads must degrade to counted version-skew misses.
+type cacheSkew struct{ store *txcache.Store }
+
+func (*cacheSkew) Name() string { return "cache-skew" }
+func (c *cacheSkew) Tune(opt *vmm.Options) {
+	c.store = txcache.OpenMemory()
+	opt.Cache = c.store
+	opt.MaxPages = 2
+}
+func (c *cacheSkew) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.OnGroupStart = func(pc uint32) {
+		if rng.Intn(64) != 0 {
+			return
+		}
+		if n := c.store.SkewVersion(txcache.Version + 1); n > 0 {
+			m.Stats.InjectedFaults++
+		}
+	}
+}
+
+// cacheENOSPC fails cache writes as if the volume were full, flapping the
+// condition on and off. Saves must degrade to counted bypass
+// (Stats.CacheSaveErrors, then the store's own write-bypass) and clearing
+// the condition must re-arm the write path; translation itself is never
+// affected.
+type cacheENOSPC struct{ store *txcache.Store }
+
+func (*cacheENOSPC) Name() string { return "cache-enospc" }
+func (c *cacheENOSPC) Tune(opt *vmm.Options) {
+	c.store = txcache.OpenMemory()
+	c.store.SetFailMode(txcache.FailENOSPC)
+	opt.Cache = c.store
+	opt.MaxPages = 2
+}
+func (c *cacheENOSPC) Arm(m *vmm.Machine, rng *rand.Rand) {
+	full := true
+	m.OnGroupStart = func(pc uint32) {
+		if rng.Intn(48) != 0 {
+			return
+		}
+		full = !full
+		if full {
+			c.store.SetFailMode(txcache.FailENOSPC)
+		} else {
+			c.store.SetFailMode(txcache.FailNone)
+		}
+		m.Stats.InjectedFaults++
+	}
+}
+
+// cacheShortWrite tears every cache write: the entry lands truncated, as
+// if the process had died mid-write after the rename. Subsequent reads
+// must fail the checksum and degrade to counted corrupt misses.
+type cacheShortWrite struct{ store *txcache.Store }
+
+func (*cacheShortWrite) Name() string { return "cache-shortwrite" }
+func (c *cacheShortWrite) Tune(opt *vmm.Options) {
+	c.store = txcache.OpenMemory()
+	c.store.SetFailMode(txcache.FailShortWrite)
+	opt.Cache = c.store
+	opt.MaxPages = 2
+}
+func (c *cacheShortWrite) Arm(m *vmm.Machine, rng *rand.Rand) {
+	// No randomness needed: every write is torn; every read of a torn
+	// entry must miss cleanly. The injected-fault counter rides on the
+	// store's own corrupt-miss counter instead.
 }

@@ -29,6 +29,7 @@ func lockstep(sc *Scenario) (*Report, *Divergence, error) {
 	}
 	ma.Mem.TrackWrites(true)
 	ref.Mem.TrackWrites(true)
+	defer ma.Close()         // stops any async translation workers
 	defer ma.SyncTelemetry() // nil-safe; finalizes the time-split counters
 
 	rep := &Report{}
@@ -193,11 +194,14 @@ func bisect(sc *Scenario, div *Divergence) {
 		return
 	}
 
-	// Pass 1: reference trace over the window.
-	_, ref, entry, err := sc.build()
+	// Pass 1: reference trace over the window. The machine half of the
+	// pair is unused here, but it may have started worker goroutines —
+	// shut it down rather than leak them.
+	ma1, ref, entry, err := sc.build()
 	if err != nil {
 		return
 	}
+	ma1.Close()
 	if err := ref.RunTo(good); err != nil {
 		return
 	}
@@ -232,6 +236,7 @@ func bisect(sc *Scenario, div *Divergence) {
 	if err != nil || entry2 != entry {
 		return
 	}
+	defer ma.Close()
 	found := false
 	ma.OnBoundary = func(completed uint64) {
 		if found || completed <= good || completed > bad {

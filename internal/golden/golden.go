@@ -109,7 +109,10 @@ func CaptureRun(w workload.Workload, scale int, tel *telemetry.Telemetry) (*Run,
 		return nil, err
 	}
 	env := &interp.Env{In: w.Input(scale)}
-	ma := vmm.New(m, env, vmm.DefaultOptions())
+	ma, err := vmm.NewMachine(m, env, vmm.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
 	if tel != nil {
 		ma.AttachTelemetry(tel)
 	}

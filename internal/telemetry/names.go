@@ -27,6 +27,7 @@ const (
 	MCastOuts           = "daisy_cast_outs"
 	MQuarantines        = "daisy_quarantines"
 	MQuarantineReleases = "daisy_quarantine_releases"
+	MTranslatorPanics   = "daisy_translator_panics" // panics recovered in the translation path
 
 	// Asynchronous translation pipeline.
 	MAsyncEnqueues  = "daisy_async_enqueues"
@@ -36,10 +37,18 @@ const (
 	GAsyncQueue     = "daisy_async_queue_depth" // gauge: pages waiting in the job channel
 	GAsyncInflight  = "daisy_async_inflight"    // gauge: pages being translated by workers
 
+	// Async-pipeline fault tolerance (worker watchdog; see vmm/async.go).
+	MAsyncRetries          = "daisy_async_retries"            // failed translations rescheduled with backoff
+	MAsyncRetriesExhausted = "daisy_async_retries_exhausted"  // retry budget spent; page quarantined
+	MAsyncAbandons         = "daisy_async_abandons"           // in-flight jobs abandoned past the deadline
+	MAsyncLateDrops        = "daisy_async_late_drops"         // abandoned results that arrived late, dropped
+	MAsyncRespawns         = "daisy_async_respawns"           // worker goroutines respawned by the watchdog
+
 	// Persistent translation cache.
-	MCacheHits   = "daisy_txcache_hits"
-	MCacheMisses = "daisy_txcache_misses"
-	MCacheStores = "daisy_txcache_stores"
+	MCacheHits       = "daisy_txcache_hits"
+	MCacheMisses     = "daisy_txcache_misses"
+	MCacheStores     = "daisy_txcache_stores"
+	MCacheSaveErrors = "daisy_txcache_save_errors" // writes that failed and degraded to bypass
 
 	// Histograms.
 	HILPPerGroup       = "daisy_ilp_per_group"        // base insts / VLIWs per sampled group run

@@ -26,6 +26,9 @@ const (
 	EvCacheHit                   // page installed from the persistent translation cache
 	EvSpanBegin                  // page-lifecycle stage begins; Arg = SpanArg(gen, stage, 0)
 	EvSpanEnd                    // page-lifecycle stage ends; Arg = SpanArg(gen, stage, outcome)
+	EvTranslatorPanic            // translator panic recovered; page quarantined interpret-only
+	EvAsyncAbandon               // in-flight translation abandoned by the worker watchdog
+	EvAsyncRetry                 // failed worker translation rescheduled; Arg = retry attempt
 	numEventKinds
 )
 
@@ -34,6 +37,7 @@ var eventKindNames = [numEventKinds]string{
 	"exception", "smc-invalidate", "cast-out", "quarantine", "quarantine-release",
 	"async-enqueue", "async-publish", "async-stale", "cache-hit",
 	"span-begin", "span-end",
+	"translator-panic", "async-abandon", "async-retry",
 }
 
 // SpanStage is one stage of a page's lifecycle through the translation

@@ -1,0 +1,364 @@
+package txcache
+
+// Crash-safety and maintenance for the persistent store: injected I/O
+// failure modes for the chaos harness, a size bound with LRU eviction, a
+// generation-safe garbage collector, and an fsck that validates (and
+// optionally repairs) every entry on disk. The design rule is the same
+// one the Load path already obeys: the cache is an accelerator, never a
+// dependency — every failure here degrades to counted misses or bypassed
+// writes, and nothing in this file can fail the guest.
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FailMode is an injected I/O failure for the chaos harness. Modes apply
+// to writes only: read-side damage is injected with Corrupt/SkewVersion,
+// which model what is actually on a bad disk rather than how it got there.
+type FailMode int
+
+const (
+	FailNone       FailMode = iota
+	FailENOSPC              // every write fails as if the volume were full
+	FailShortWrite          // writes land truncated (a torn write Load must absorb)
+)
+
+// errNoSpace is the simulated disk-full error (kept distinguishable from
+// a real one for tests).
+var errNoSpace = errors.New("no space left on device (injected)")
+
+// saveBypassThreshold is how many consecutive Save failures disable the
+// write path. Three strikes: one failure may be transient, three in a row
+// is a dead or full volume, and hammering it would cost a syscall per
+// translated page for the rest of the run.
+const saveBypassThreshold = 3
+
+// SetFailMode arms (or clears, with FailNone) an injected write-failure
+// mode. Clearing also re-arms a store that had bypassed its write path,
+// so chaos scenarios can model a volume coming back.
+func (s *Store) SetFailMode(f FailMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fail = f
+	if f == FailNone {
+		s.bypassed = false
+		s.failStreak = 0
+	}
+}
+
+// Bypassed reports whether repeated write failures have disabled the
+// write path (reads still work).
+func (s *Store) Bypassed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bypassed
+}
+
+// SetMaxBytes bounds the store's total payload bytes; the least recently
+// used entries are evicted when a write pushes it past the bound
+// (0 restores the default: unbounded). Recency is process-local order,
+// seeded from file modification times on the first need, and Load
+// freshens a disk entry's mtime so recency survives across processes.
+func (s *Store) SetMaxBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes = n
+	s.ensureIndex()
+	s.evict()
+}
+
+// ---- LRU index (all methods run under s.mu) ----
+
+// ensureIndex builds the entry index on first use: names, sizes, and an
+// LRU order seeded from modification times (memory stores sort by name —
+// they have no times, and determinism matters more than a guess).
+func (s *Store) ensureIndex() {
+	if s.indexed {
+		return
+	}
+	s.indexed = true
+	s.sizes = make(map[string]int64)
+	s.order = s.order[:0]
+	if s.dir == "" {
+		for name, b := range s.mem {
+			s.sizes[name] = int64(len(b))
+			s.order = append(s.order, name)
+			s.total += int64(len(b))
+		}
+		sort.Strings(s.order)
+		return
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type rec struct {
+		name string
+		mod  time.Time
+	}
+	var recs []rec
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".dtx" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{e.Name(), info.ModTime()})
+		s.sizes[e.Name()] = info.Size()
+		s.total += info.Size()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].mod.Equal(recs[j].mod) {
+			return recs[i].mod.Before(recs[j].mod)
+		}
+		return recs[i].name < recs[j].name
+	})
+	for _, r := range recs {
+		s.order = append(s.order, r.name)
+	}
+}
+
+// noteWrite records a (re)written entry as most recently used.
+func (s *Store) noteWrite(name string, size int64) {
+	s.ensureIndex()
+	if old, ok := s.sizes[name]; ok {
+		s.total -= old
+		s.removeFromOrder(name)
+	}
+	s.sizes[name] = size
+	s.total += size
+	s.order = append(s.order, name)
+}
+
+// touch marks an entry most recently used (a Load hit). Disk entries get
+// their mtime freshened best-effort, so the next process's seeded order
+// agrees with this one's.
+func (s *Store) touch(name string) {
+	if !s.indexed {
+		return // no size bound has ever been set; skip the bookkeeping
+	}
+	if _, ok := s.sizes[name]; !ok {
+		return
+	}
+	s.removeFromOrder(name)
+	s.order = append(s.order, name)
+	if s.dir != "" {
+		now := time.Now()
+		_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
+	}
+}
+
+func (s *Store) removeFromOrder(name string) {
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evict removes least-recently-used entries until the store fits its
+// bound. Each eviction is counted; a failed file removal just leaves the
+// entry for the next pass (or for GC).
+func (s *Store) evict() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.ensureIndex()
+	for s.total > s.maxBytes && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		if s.dir == "" {
+			delete(s.mem, victim)
+		} else if err := os.Remove(filepath.Join(s.dir, victim)); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		s.total -= s.sizes[victim]
+		delete(s.sizes, victim)
+		s.st.Evictions++
+	}
+}
+
+// ---- Garbage collection ----
+
+// GC shrinks the store to at most maxBytes of entry payload, removing
+// least-recently-used entries first (by modification time for disk
+// stores). It is generation-safe: only entries that existed when the scan
+// started are candidates, so entries written concurrently by a live
+// machine — which rename into place atomically — are never collected by
+// the sweep that missed their birth. Returns the number of entries
+// removed and the bytes freed.
+func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	// Rebuild the index from the source of truth: GC is a maintenance
+	// entry point and may run against a directory other processes wrote.
+	s.indexed = false
+	s.total = 0
+	s.ensureIndex()
+	for s.total > maxBytes && len(s.order) > 0 {
+		victim := s.order[0]
+		if s.dir != "" {
+			path := filepath.Join(s.dir, victim)
+			info, statErr := os.Stat(path)
+			if statErr == nil && info.ModTime().After(start) {
+				// Born after the scan started: a live writer owns it.
+				// Skip it this cycle rather than collect a newborn.
+				s.order = s.order[1:]
+				s.total -= s.sizes[victim]
+				delete(s.sizes, victim)
+				continue
+			}
+			if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+				return removed, freed, fmt.Errorf("txcache: gc: %w", rmErr)
+			}
+		} else {
+			delete(s.mem, victim)
+		}
+		s.order = s.order[1:]
+		freed += s.sizes[victim]
+		s.total -= s.sizes[victim]
+		delete(s.sizes, victim)
+		removed++
+		s.st.Evictions++
+	}
+	return removed, freed, nil
+}
+
+// ---- Fsck ----
+
+// FsckReport summarizes one consistency pass over the store.
+type FsckReport struct {
+	Scanned     int // .dtx entries examined
+	OK          int // entries that decoded and validated cleanly
+	Corrupt     int // checksum/decode failures
+	VersionSkew int // format-version or key-echo mismatches
+	BadName     int // filenames that do not parse as a content address
+	TmpFiles    int // orphaned .tmp files from interrupted writes
+	Removed     int // files deleted (repair mode only)
+}
+
+// Bad reports whether the pass found anything wrong.
+func (r FsckReport) Bad() bool {
+	return r.Corrupt+r.VersionSkew+r.BadName+r.TmpFiles > 0
+}
+
+func (r FsckReport) String() string {
+	return fmt.Sprintf("scanned %d: %d ok, %d corrupt, %d version-skew, %d bad-name, %d orphan tmp, %d removed",
+		r.Scanned, r.OK, r.Corrupt, r.VersionSkew, r.BadName, r.TmpFiles, r.Removed)
+}
+
+// Fsck validates every entry in the store exactly as the Load path would:
+// the filename must parse back to a content-address key, and the payload
+// must pass the checksum, version, key-echo and full group-decode checks
+// against that key. With repair set, everything invalid — plus orphaned
+// .tmp files from interrupted writes — is deleted, so the store is
+// afterwards indistinguishable from one that never took the damage.
+func (s *Store) Fsck(repair bool) FsckReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep FsckReport
+	remove := func(name string) {
+		if !repair {
+			return
+		}
+		if s.dir == "" {
+			delete(s.mem, name)
+		} else if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return
+		}
+		if s.indexed {
+			if sz, ok := s.sizes[name]; ok {
+				s.total -= sz
+				delete(s.sizes, name)
+				s.removeFromOrder(name)
+			}
+		}
+		rep.Removed++
+	}
+	check := func(name string, payload []byte) {
+		rep.Scanned++
+		k, ok := parseName(name)
+		if !ok {
+			rep.BadName++
+			remove(name)
+			return
+		}
+		switch _, reason := decodeEntry(k, payload); reason {
+		case missNone:
+			rep.OK++
+		case missVersion:
+			rep.VersionSkew++
+			remove(name)
+		default:
+			rep.Corrupt++
+			remove(name)
+		}
+	}
+	if s.dir == "" {
+		names := make([]string, 0, len(s.mem))
+		for name := range s.mem {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			check(name, s.mem[name])
+		}
+		return rep
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch filepath.Ext(name) {
+		case ".tmp":
+			rep.TmpFiles++
+			remove(name)
+		case ".dtx":
+			payload, err := os.ReadFile(filepath.Join(s.dir, name))
+			if err != nil {
+				rep.Scanned++
+				rep.Corrupt++
+				remove(name)
+				continue
+			}
+			check(name, payload)
+		}
+	}
+	return rep
+}
+
+// parseName inverts Key.filename: "%08x-%016x-%x.dtx" with a 64-hex-digit
+// digest. Anything else in the directory is not one of ours.
+func parseName(name string) (Key, bool) {
+	base, found := strings.CutSuffix(name, ".dtx")
+	if !found {
+		return Key{}, false
+	}
+	parts := strings.Split(base, "-")
+	if len(parts) != 3 || len(parts[0]) != 8 || len(parts[1]) != 16 || len(parts[2]) != 64 {
+		return Key{}, false
+	}
+	pageBase, err1 := strconv.ParseUint(parts[0], 16, 32)
+	optFP, err2 := strconv.ParseUint(parts[1], 16, 64)
+	digest, err3 := hex.DecodeString(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || len(digest) != 32 {
+		return Key{}, false
+	}
+	k := Key{PageBase: uint32(pageBase), OptFP: optFP}
+	copy(k.Digest[:], digest)
+	return k, true
+}

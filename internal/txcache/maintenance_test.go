@@ -1,0 +1,239 @@
+package txcache_test
+
+// Tests for the crash-safety and maintenance layer (maintenance.go):
+// write-failure bypass, torn writes degrading to counted corrupt misses,
+// the size bound with LRU eviction, GC, and fsck detection/repair.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"daisy/internal/txcache"
+)
+
+// keyAt returns a distinct content-address per page index (same groups,
+// different PageBase — entries all have identical payload size, which the
+// eviction tests rely on).
+func keyAt(base txcache.Key, i int) txcache.Key {
+	k := base
+	k.PageBase += uint32(i) * 0x1000
+	return k
+}
+
+// TestSaveFailureBypass pins the three-strikes rule: consecutive write
+// failures are counted errors until the threshold, after which the write
+// path disables itself (counted bypass, no error, no syscalls) — and
+// clearing the failure re-arms it.
+func TestSaveFailureBypass(t *testing.T) {
+	pt, groups := translated(t)
+	s := txcache.OpenMemory()
+	k := key(pt)
+	s.SetFailMode(txcache.FailENOSPC)
+	for i := 0; i < 3; i++ {
+		if stored, err := s.Save(k, groups); stored || err == nil {
+			t.Fatalf("save %d: stored=%v err=%v, want false, error", i, stored, err)
+		}
+	}
+	if !s.Bypassed() {
+		t.Fatal("write path not bypassed after 3 consecutive failures")
+	}
+	if stored, err := s.Save(k, groups); stored || err != nil {
+		t.Fatalf("bypassed save: stored=%v err=%v, want false, nil (degraded, not failed)", stored, err)
+	}
+	st := s.Stats()
+	if st.SaveErrors != 3 || st.SaveBypassed != 1 {
+		t.Fatalf("stats %+v, want 3 save errors and 1 bypass", st)
+	}
+	// The volume comes back: clearing the mode re-arms the write path.
+	s.SetFailMode(txcache.FailNone)
+	if s.Bypassed() {
+		t.Fatal("still bypassed after the failure cleared")
+	}
+	if stored, err := s.Save(k, groups); !stored || err != nil {
+		t.Fatalf("save after recovery: stored=%v err=%v", stored, err)
+	}
+	if _, ok := s.Load(k); !ok {
+		t.Fatal("entry unreadable after recovery")
+	}
+}
+
+// TestShortWriteDegradesToCorruptMiss pins torn-write handling: a write
+// that lands truncated (as if the process died mid-write) is served as a
+// counted corrupt miss, never an error, and the next clean save heals it.
+func TestShortWriteDegradesToCorruptMiss(t *testing.T) {
+	pt, groups := translated(t)
+	dir := t.TempDir()
+	disk, err := txcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*txcache.Store{"mem": txcache.OpenMemory(), "disk": disk} {
+		k := key(pt)
+		s.SetFailMode(txcache.FailShortWrite)
+		// The write itself "succeeds" — the damage is only visible on read,
+		// exactly like a torn write that got renamed into place.
+		if stored, err := s.Save(k, groups); !stored || err != nil {
+			t.Fatalf("%s: torn save: stored=%v err=%v", name, stored, err)
+		}
+		if _, ok := s.Load(k); ok {
+			t.Fatalf("%s: truncated entry served", name)
+		}
+		if st := s.Stats(); st.Corrupt != 1 {
+			t.Fatalf("%s: torn write not a corrupt miss: %+v", name, st)
+		}
+		s.SetFailMode(txcache.FailNone)
+		if stored, err := s.Save(k, groups); !stored || err != nil {
+			t.Fatalf("%s: healing save: stored=%v err=%v", name, stored, err)
+		}
+		if _, ok := s.Load(k); !ok {
+			t.Fatalf("%s: entry unreadable after healing save", name)
+		}
+	}
+}
+
+// TestMaxBytesEviction pins the size bound: writes past SetMaxBytes evict
+// the least recently used entries, and a Load hit refreshes recency.
+func TestMaxBytesEviction(t *testing.T) {
+	pt, groups := translated(t)
+	base := key(pt)
+
+	// Measure one entry's payload size with a throwaway store: GC(0)
+	// reports the bytes it freed.
+	probe := txcache.OpenMemory()
+	if _, err := probe.Save(base, groups); err != nil {
+		t.Fatal(err)
+	}
+	removed, entrySize, err := probe.GC(0)
+	if err != nil || removed != 1 || entrySize <= 0 {
+		t.Fatalf("probe GC: removed=%d freed=%d err=%v", removed, entrySize, err)
+	}
+
+	s := txcache.OpenMemory()
+	s.SetMaxBytes(4 * entrySize)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Save(keyAt(base, i), groups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 0: it becomes most recently used, so the fifth save must
+	// evict entry 1, the oldest untouched one.
+	if _, ok := s.Load(keyAt(base, 0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	if _, err := s.Save(keyAt(base, 4), groups); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if _, ok := s.Load(keyAt(base, 1)); ok {
+		t.Fatal("LRU entry 1 survived the eviction")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if _, ok := s.Load(keyAt(base, i)); !ok {
+			t.Fatalf("entry %d was evicted; only the LRU entry should be", i)
+		}
+	}
+}
+
+// TestGC pins the maintenance sweep on a disk store: shrinking to zero
+// removes everything and reports what it freed; a second pass is a no-op.
+func TestGC(t *testing.T) {
+	pt, groups := translated(t)
+	dir := t.TempDir()
+	s, err := txcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := key(pt)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Save(keyAt(base, i), groups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, freed, err := s.GC(0)
+	if err != nil || removed != 3 || freed <= 0 {
+		t.Fatalf("GC: removed=%d freed=%d err=%v, want 3 removals", removed, freed, err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("%d entries survived GC(0)", s.Len())
+	}
+	if removed, freed, err := s.GC(0); err != nil || removed != 0 || freed != 0 {
+		t.Fatalf("second GC: removed=%d freed=%d err=%v, want no-op", removed, freed, err)
+	}
+}
+
+// TestFsck pins detection and repair: corruption, version skew, foreign
+// filenames and orphaned temp files are each classified, repair removes
+// exactly the invalid files, and a healthy store passes clean.
+func TestFsck(t *testing.T) {
+	pt, groups := translated(t)
+	dir := t.TempDir()
+	s, err := txcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := key(pt)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Save(keyAt(base, i), groups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := s.Fsck(false); rep.Bad() || rep.OK != 2 {
+		t.Fatalf("healthy store flagged: %v", rep)
+	}
+
+	// Damage everything on disk, then litter the directory.
+	if n := s.Corrupt(); n != 2 {
+		t.Fatalf("corrupted %d entries, want 2", n)
+	}
+	for _, f := range []string{"00000000-0000000000000000-00.tmp", "not-a-cache-entry.dtx", "README"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.Fsck(false)
+	if rep.Corrupt != 2 || rep.BadName != 1 || rep.TmpFiles != 1 || rep.Removed != 0 {
+		t.Fatalf("detection pass: %v", rep)
+	}
+	if !rep.Bad() {
+		t.Fatal("damaged store not flagged")
+	}
+
+	rep = s.Fsck(true)
+	if rep.Removed != 4 {
+		t.Fatalf("repair removed %d files, want 4 (2 corrupt + bad name + tmp)", rep.Removed)
+	}
+	if rep := s.Fsck(false); rep.Bad() || rep.Scanned != 0 {
+		t.Fatalf("store not clean after repair: %v", rep)
+	}
+	// The unrelated file is not ours to delete.
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("repair deleted an unrelated file: %v", err)
+	}
+	// The repaired store keeps working.
+	if stored, err := s.Save(base, groups); !stored || err != nil {
+		t.Fatalf("save after repair: stored=%v err=%v", stored, err)
+	}
+	if _, ok := s.Load(base); !ok {
+		t.Fatal("load after repair missed")
+	}
+}
+
+// TestFsckVersionSkew pins the remaining classification: an entry written
+// by a different format version is VersionSkew, not Corrupt.
+func TestFsckVersionSkew(t *testing.T) {
+	pt, groups := translated(t)
+	s := txcache.OpenMemory()
+	if _, err := s.Save(key(pt), groups); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.SkewVersion(txcache.Version + 1); n != 1 {
+		t.Fatalf("skewed %d entries, want 1", n)
+	}
+	rep := s.Fsck(false)
+	if rep.VersionSkew != 1 || rep.Corrupt != 0 {
+		t.Fatalf("skew classified wrong: %v", rep)
+	}
+}

@@ -1,0 +1,35 @@
+package txcache
+
+// Internal test for the filename parser fsck relies on: parseName must be
+// the exact inverse of Key.filename, and reject anything else.
+
+import "testing"
+
+func TestParseNameRoundTrip(t *testing.T) {
+	k := Key{PageBase: 0x0001f000, OptFP: 0xdeadbeefcafef00d}
+	for i := range k.Digest {
+		k.Digest[i] = byte(i * 7)
+	}
+	got, ok := parseName(k.filename())
+	if !ok || got != k {
+		t.Fatalf("parseName(%q) = %+v, %v; want the original key", k.filename(), got, ok)
+	}
+}
+
+func TestParseNameRejects(t *testing.T) {
+	good := Key{PageBase: 1, OptFP: 2}.filename()
+	bad := []string{
+		"",
+		"x.dtx",
+		good[:len(good)-4],                   // suffix missing
+		"0000000g" + good[8:],                // non-hex page base
+		"0000-0000000000000000-" + good[26:], // short page-base field
+		good[:len(good)-5] + "x.dtx",         // non-hex digest
+		"a-b-c-d.dtx",                        // too many fields
+	}
+	for _, name := range bad {
+		if _, ok := parseName(name); ok {
+			t.Errorf("parseName(%q) accepted", name)
+		}
+	}
+}

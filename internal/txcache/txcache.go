@@ -64,6 +64,15 @@ type Stats struct {
 	Stores      uint64
 	Corrupt     uint64 // checksum/decode/validation failures
 	VersionSkew uint64 // format-version or key mismatches
+
+	// Crash-safety counters (maintenance.go). SaveErrors are writes that
+	// failed (disk full, unwritable dir); SaveBypassed are writes skipped
+	// after repeated failures disabled the write path; Evictions are
+	// entries removed by the size bound. None of them is ever an error on
+	// the execution path.
+	SaveErrors   uint64
+	SaveBypassed uint64
+	Evictions    uint64
 }
 
 // Store is a translation cache. With a directory it persists across
@@ -77,6 +86,18 @@ type Store struct {
 	mu  sync.Mutex
 	mem map[string][]byte // in-memory entries when dir == ""
 	st  Stats
+
+	// Crash-safety state (maintenance.go): the injected failure mode, the
+	// consecutive-failure streak that trips the write bypass, and the LRU
+	// index enforcing the size bound.
+	fail       FailMode
+	failStreak int
+	bypassed   bool
+	maxBytes   int64
+	indexed    bool
+	order      []string         // LRU order, least recently used first
+	sizes      map[string]int64 // payload bytes per entry
+	total      int64
 }
 
 // Open returns a persistent store rooted at dir, creating it if needed.
@@ -135,7 +156,15 @@ func Fingerprint(desc string) uint64 {
 // Save serializes groups (in page-layout order) under k. BaseInsts and
 // Parcels ride alongside each group's binary code because the vliw
 // encoding intentionally omits them (they are statistics, not semantics).
-func (s *Store) Save(k Key, groups []*vliw.Group) error {
+//
+// Save never takes the machine down: a failed write (disk full,
+// unwritable directory, injected fault) returns stored=false with the
+// error for counting, and after saveBypassThreshold consecutive failures
+// the write path disables itself entirely — further Saves return
+// (false, nil) and only bump Stats.SaveBypassed, so a dead disk costs one
+// counter increment per page instead of a syscall storm. A successful
+// write re-arms the streak.
+func (s *Store) Save(k Key, groups []*vliw.Group) (stored bool, err error) {
 	var payload []byte
 	payload = binary.BigEndian.AppendUint32(payload, magic)
 	payload = binary.BigEndian.AppendUint16(payload, Version)
@@ -146,7 +175,7 @@ func (s *Store) Save(k Key, groups []*vliw.Group) error {
 	for _, g := range groups {
 		code, err := vliw.EncodeGroup(g)
 		if err != nil {
-			return fmt.Errorf("txcache: encode group %#x: %w", g.Entry, err)
+			return false, fmt.Errorf("txcache: encode group %#x: %w", g.Entry, err)
 		}
 		payload = binary.BigEndian.AppendUint32(payload, g.Entry)
 		payload = binary.BigEndian.AppendUint32(payload, uint32(g.BaseInsts))
@@ -158,22 +187,55 @@ func (s *Store) Save(k Key, groups []*vliw.Group) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.bypassed {
+		s.st.SaveBypassed++
+		return false, nil
+	}
+	name := k.filename()
+	if err := s.writeEntry(name, payload); err != nil {
+		s.st.SaveErrors++
+		s.failStreak++
+		if s.failStreak >= saveBypassThreshold {
+			s.bypassed = true
+		}
+		return false, fmt.Errorf("txcache: %w", err)
+	}
+	s.failStreak = 0
+	s.st.Stores++
+	s.noteWrite(name, int64(len(payload)))
+	s.evict()
+	return true, nil
+}
+
+// writeEntry performs the physical write of one entry under the lock,
+// honoring the injected failure mode. Disk entries go through
+// write-rename so a crashed run leaves either the old entry or the new
+// one, never a torn file; a failed write removes its temp file so broken
+// runs do not litter the directory.
+func (s *Store) writeEntry(name string, payload []byte) error {
+	if s.fail == FailENOSPC {
+		return errNoSpace
+	}
+	if s.fail == FailShortWrite && len(payload) > 8 {
+		// A torn write that still gets renamed into place: the entry is
+		// present but truncated, which Load's checksum turns into a
+		// counted corrupt miss.
+		payload = payload[:len(payload)/2]
+	}
 	if s.dir == "" {
-		s.mem[k.filename()] = payload
-		s.st.Stores++
+		s.mem[name] = append([]byte(nil), payload...)
 		return nil
 	}
-	// Write-rename so a crashed run leaves either the old entry or the new
-	// one, never a torn file (a torn file would only cost a miss anyway).
-	final := filepath.Join(s.dir, k.filename())
+	final := filepath.Join(s.dir, name)
 	tmp := final + ".tmp"
 	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
-		return fmt.Errorf("txcache: %w", err)
+		os.Remove(tmp)
+		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("txcache: %w", err)
+		os.Remove(tmp)
+		return err
 	}
-	s.st.Stores++
 	return nil
 }
 
@@ -182,12 +244,13 @@ func (s *Store) Save(k Key, groups []*vliw.Group) error {
 // validation. It never returns an error: a bad cache entry must degrade
 // to a fresh translation, not take the machine down.
 func (s *Store) Load(k Key) (groups []*vliw.Group, ok bool) {
+	name := k.filename()
 	s.mu.Lock()
 	var payload []byte
 	if s.dir == "" {
-		payload = s.mem[k.filename()]
+		payload = s.mem[name]
 	} else {
-		payload, _ = os.ReadFile(filepath.Join(s.dir, k.filename()))
+		payload, _ = os.ReadFile(filepath.Join(s.dir, name))
 	}
 	s.mu.Unlock()
 	if payload == nil {
@@ -201,6 +264,7 @@ func (s *Store) Load(k Key) (groups []*vliw.Group, ok bool) {
 	}
 	s.mu.Lock()
 	s.st.Hits++
+	s.touch(name)
 	s.mu.Unlock()
 	return groups, true
 }

@@ -66,7 +66,7 @@ func TestRoundTrip(t *testing.T) {
 	if _, ok := s.Load(k); ok {
 		t.Fatal("hit on an empty store")
 	}
-	if err := s.Save(k, groups); err != nil {
+	if _, err := s.Save(k, groups); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := s.Load(k)
@@ -105,7 +105,7 @@ func TestKeyAddressing(t *testing.T) {
 	pt, groups := translated(t)
 	s := txcache.OpenMemory()
 	k := key(pt)
-	if err := s.Save(k, groups); err != nil {
+	if _, err := s.Save(k, groups); err != nil {
 		t.Fatal(err)
 	}
 	for name, k2 := range map[string]txcache.Key{
@@ -133,7 +133,7 @@ func TestDiskPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := key(pt)
-	if err := s1.Save(k, groups); err != nil {
+	if _, err := s1.Save(k, groups); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := txcache.Open(dir)
@@ -160,7 +160,7 @@ func TestDamageAccounting(t *testing.T) {
 	}
 	for name, s := range map[string]*txcache.Store{"mem": txcache.OpenMemory(), "disk": disk} {
 		k := key(pt)
-		if err := s.Save(k, groups); err != nil {
+		if _, err := s.Save(k, groups); err != nil {
 			t.Fatal(err)
 		}
 		if n := s.Corrupt(); n != 1 {
@@ -174,7 +174,7 @@ func TestDamageAccounting(t *testing.T) {
 		}
 		// Re-save over the damage, then skew the version with a valid
 		// checksum: only the version gate can reject it now.
-		if err := s.Save(k, groups); err != nil {
+		if _, err := s.Save(k, groups); err != nil {
 			t.Fatal(err)
 		}
 		if n := s.SkewVersion(txcache.Version + 7); n != 1 {

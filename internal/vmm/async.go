@@ -23,6 +23,26 @@ package vmm
 //     dispatch (Stats.AsyncQueueFull), so the queue cannot grow without
 //     bound and translation effort cannot outrun execution.
 //
+// On top of that sits the crash-safety layer, built on one principle:
+// the interpreter can always carry any page, so no worker failure may
+// become a guest-visible failure.
+//
+//   - Panic isolation: a worker runs the translator behind the same
+//     recover barrier as the synchronous path (guard.go). A panicking
+//     translation surfaces as an error result; the page is quarantined
+//     interpret-only (a deterministic panic would just recur).
+//   - Retry with backoff: a failed (non-panic) translation is retried at
+//     a later dispatch after an exponentially growing, deterministically
+//     jittered span of the instruction clock. When AsyncMaxRetries is
+//     spent, the page is quarantined instead (Stats.AsyncRetriesExhausted).
+//   - Watchdog: every in-flight job carries a wall-clock deadline
+//     (AsyncDeadline). A job past it is abandoned — removed from the
+//     inflight set so the page can be rescheduled — and a replacement
+//     worker is spawned for the presumed-stuck one (bounded by
+//     respawnCap). If the abandoned result arrives late anyway, its job
+//     sequence number identifies it and it is dropped
+//     (Stats.AsyncLateDrops), never published.
+//
 // Workers never touch machine state: jobs carry a copy of the page bytes,
 // results come back over a channel sized so a worker can never block on
 // delivery, and the machine drains completions at dispatch boundaries.
@@ -32,6 +52,7 @@ package vmm
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -44,13 +65,21 @@ import (
 
 // txJob asks a worker to translate the page at base, first touched at
 // entry. The snapshot and digest pin the exact bytes being translated;
-// the epoch pins the invalidation generation the result is valid for.
+// the epoch pins the invalidation generation the result is valid for; the
+// seq uniquely names this attempt so a watchdog-abandoned result can be
+// recognized and dropped if it arrives late.
 type txJob struct {
 	base   uint32
 	entry  uint32
 	epoch  uint64
+	seq    uint64
 	digest [32]byte
 	snap   []byte
+
+	// plan is the chaos-planted fault for this attempt, drawn on the
+	// machine goroutine at enqueue time (so seeded injectors stay
+	// deterministic) and executed by the worker inside its barriers.
+	plan *TranslationFault
 
 	// enqueuedNs stamps the handoff for the pipeline latency histograms
 	// (host clock; one stamp per page translation, never per instruction).
@@ -70,21 +99,51 @@ type txResult struct {
 	doneNs    int64
 }
 
-// txPipeline owns the worker pool. The inflight set is touched only by
-// the machine goroutine; the channels are the sole cross-goroutine seam.
+// inflightJob is the machine-side record of one queued-or-translating job.
+type inflightJob struct {
+	seq        uint64
+	deadlineNs int64 // wall clock past which the watchdog abandons it
+}
+
+// retryState tracks the failure history of one page's async translation.
+type retryState struct {
+	attempts  int
+	notBefore uint64 // instruction clock; no re-enqueue until then
+}
+
+// txPipeline owns the worker pool. Everything except the channels is
+// touched only by the machine goroutine; the channels are the sole
+// cross-goroutine seam.
 type txPipeline struct {
 	jobs chan txJob
 	done chan txResult
 	wg   sync.WaitGroup
+	opt  core.Options // workers' private copy of the translator options
 
 	// inflight marks pages queued or being translated, so a page is never
 	// enqueued twice and never cache-installed while a worker owns it.
-	inflight map[uint32]bool
+	inflight map[uint32]inflightJob
+
+	// abandoned holds the seqs of watchdog-abandoned jobs whose results
+	// have not yet come back (late arrivals are dropped on sight).
+	abandoned map[uint64]bool
+
+	// retry tracks per-page failure counts and backoff horizons.
+	retry map[uint32]retryState
+
+	nextSeq  uint64
+	workers  int
+	respawns int // replacement workers spawned so far (capped)
 
 	// testHold, when non-nil, gates each worker between dequeue and
 	// translation so tests can deterministically pile up the queue.
 	testHold chan struct{}
 }
+
+// respawnCap bounds watchdog worker respawns to this many times the
+// configured pool size: a systematically hanging translator degrades to
+// interpret-only pages rather than a goroutine leak per page.
+const respawnCap = 2
 
 // startPipeline spins up the worker pool (New calls it when
 // AsyncTranslate is set and the mode supports it).
@@ -99,32 +158,64 @@ func (m *Machine) startPipeline() {
 	}
 	p := &txPipeline{
 		jobs: make(chan txJob, depth),
-		// One slot per possible outstanding job: depth queued + one per
-		// worker. A worker can therefore always deliver and exit, even if
-		// the machine stops draining (Close relies on this).
-		done:     make(chan txResult, depth+workers),
-		inflight: make(map[uint32]bool),
+		// One slot per possible outstanding job: depth queued + one in the
+		// hands of each worker, including every respawn the watchdog could
+		// ever add. A worker can therefore always deliver and exit, even
+		// if the machine stops draining (Close relies on this, and it is
+		// what lets a genuinely hung worker be leaked safely).
+		done:      make(chan txResult, depth+workers*(1+respawnCap)),
+		opt:       m.Opt.Trans,
+		inflight:  make(map[uint32]inflightJob),
+		abandoned: make(map[uint64]bool),
+		retry:     make(map[uint32]retryState),
+		workers:   workers,
 	}
-	opt := m.Opt.Trans // workers get a private copy of the options
 	for i := 0; i < workers; i++ {
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for job := range p.jobs {
-				if p.testHold != nil {
-					<-p.testHold
-				}
-				started := time.Now().UnixNano()
-				r := translateSnapshot(job, opt)
-				r.startedNs = started
-				r.doneNs = time.Now().UnixNano()
-				p.done <- r
-			}
-		}()
+		p.spawnWorker()
 	}
 	m.pipe = p
 	m.epoch = make(map[uint32]uint64)
 	m.hot = make(map[uint32]int)
+}
+
+// spawnWorker adds one worker goroutine to the pool. The loop exits when
+// the jobs channel is closed and drained.
+func (p *txPipeline) spawnWorker() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for job := range p.jobs {
+			if p.testHold != nil {
+				<-p.testHold
+			}
+			if job.plan != nil && job.plan.Hang > 0 {
+				time.Sleep(job.plan.Hang)
+			}
+			started := time.Now().UnixNano()
+			r := workerTranslate(job, p.opt)
+			r.startedNs = started
+			r.doneNs = time.Now().UnixNano()
+			p.done <- r
+		}
+	}()
+}
+
+// workerTranslate runs one translation behind the recover barrier: a
+// panicking translator (real or chaos-planted) becomes an error result,
+// never a dead worker. Runs on a worker goroutine.
+func workerTranslate(job txJob, opt core.Options) (r txResult) {
+	r.job = job
+	defer guardTranslate(&r.err)
+	if job.plan != nil {
+		if job.plan.Err != nil {
+			r.err = job.plan.Err
+			return r
+		}
+		if job.plan.Panic {
+			panic("chaos: planted translator panic")
+		}
+	}
+	return translateSnapshot(job, opt)
 }
 
 // translateSnapshot runs on a worker goroutine: it rebuilds the page's
@@ -140,6 +231,13 @@ func translateSnapshot(job txJob, opt core.Options) txResult {
 	return txResult{job: job, pt: pt, stats: t.Stats, err: err}
 }
 
+// closeGrace is how long Close waits for workers to finish. A worker hung
+// past it is leaked — its eventual result lands in the (capacity-proven)
+// done buffer and is garbage collected with the pipeline — because
+// blocking teardown on a stuck translation would turn a degraded service
+// into a wedged one.
+const closeGrace = 2 * time.Second
+
 // Close stops the asynchronous translation workers and discards any
 // unpublished results. It is a no-op on a synchronous machine. The
 // machine must not be stepped after Close.
@@ -151,7 +249,16 @@ func (m *Machine) Close() {
 	if m.pipe.testHold != nil {
 		close(m.pipe.testHold)
 	}
-	m.pipe.wg.Wait()
+	finished := make(chan struct{})
+	go func(p *txPipeline) {
+		p.wg.Wait()
+		close(finished)
+	}(m.pipe)
+	select {
+	case <-finished:
+	case <-time.After(closeGrace):
+		// Hung worker(s): leak them rather than wedge teardown.
+	}
 	m.pipe = nil
 }
 
@@ -165,6 +272,22 @@ func (m *Machine) hotThreshold() int {
 	return 2
 }
 
+// asyncDeadline returns the watchdog's per-job wall-clock budget.
+func (m *Machine) asyncDeadline() time.Duration {
+	if m.Opt.AsyncDeadline > 0 {
+		return m.Opt.AsyncDeadline
+	}
+	return 2 * time.Second
+}
+
+// asyncMaxRetries returns the per-page retry budget for failed jobs.
+func (m *Machine) asyncMaxRetries() int {
+	if m.Opt.AsyncMaxRetries > 0 {
+		return m.Opt.AsyncMaxRetries
+	}
+	return 3
+}
+
 // bumpEpoch invalidates any in-flight translation of the page at base.
 func (m *Machine) bumpEpoch(base uint32) {
 	if m.pipe == nil {
@@ -172,13 +295,18 @@ func (m *Machine) bumpEpoch(base uint32) {
 	}
 	m.epoch[base]++
 	delete(m.hot, base)
+	// The page's bytes (or life) changed; prior translation failures no
+	// longer predict anything. Forgetting the retry history here is also
+	// what lets a quarantine release re-admit the page through the normal
+	// hot-threshold path.
+	delete(m.pipe.retry, base)
 }
 
 // groupAsync is the non-blocking dispatch lookup: it returns the group at
 // addr when one is available (published, cached, or an incremental entry
 // extension of an already-published page), or nil when the page should
-// keep running interpretively — still cold, queued, in flight, or pushed
-// back by a full queue.
+// keep running interpretively — still cold, queued, in flight, backing
+// off after a failure, or pushed back by a full queue.
 func (m *Machine) groupAsync(addr uint32) (*vliw.Group, error) {
 	base := addr &^ (m.Trans.Opt.PageSize - 1)
 	if _, ok := m.pages[base]; ok {
@@ -188,7 +316,11 @@ func (m *Machine) groupAsync(addr uint32) (*vliw.Group, error) {
 		// preserves the §3.4 invalid-entry semantics exactly.
 		return m.groupAt(addr)
 	}
-	if m.pipe.inflight[base] {
+	if _, ok := m.pipe.inflight[base]; ok {
+		return nil, nil
+	}
+	if rs, ok := m.pipe.retry[base]; ok && m.Stats.BaseInsts() < rs.notBefore {
+		// Failed recently: honor the backoff before translating again.
 		return nil, nil
 	}
 	// Cold page: a persistent-cache hit skips both the hotness dues and
@@ -216,17 +348,26 @@ func (m *Machine) enqueue(base, entry uint32) {
 		// Page extends past physical memory; nothing translatable.
 		return
 	}
+	m.pipe.nextSeq++
 	job := txJob{
-		base:       base,
-		entry:      entry,
-		epoch:      m.epoch[base],
-		digest:     sha256.Sum256(src),
-		snap:       append([]byte(nil), src...),
+		base:   base,
+		entry:  entry,
+		epoch:  m.epoch[base],
+		seq:    m.pipe.nextSeq,
+		digest: sha256.Sum256(src),
+		snap:   append([]byte(nil), src...),
+		// Fault plans are drawn here, on the machine goroutine, so a
+		// seeded injector's random draws happen in deterministic order
+		// regardless of worker scheduling.
+		plan:       m.plantedFault(base),
 		enqueuedNs: time.Now().UnixNano(),
 	}
 	select {
 	case m.pipe.jobs <- job:
-		m.pipe.inflight[base] = true
+		m.pipe.inflight[base] = inflightJob{
+			seq:        job.seq,
+			deadlineNs: job.enqueuedNs + int64(m.asyncDeadline()),
+		}
 		m.Stats.AsyncEnqueues++
 		if m.tp != nil {
 			m.tp.asyncEnqueue(m, base)
@@ -237,28 +378,68 @@ func (m *Machine) enqueue(base, entry uint32) {
 }
 
 // drainAsync publishes every finished translation waiting on the done
-// channel. It runs on the machine goroutine at dispatch boundaries —
-// precise architected states — which is what makes publication atomic.
-func (m *Machine) drainAsync() error {
-	// Results can only be pending while a job is in flight; skipping the
-	// channel poll otherwise keeps the steady state (everything published)
-	// as cheap as a synchronous machine's dispatch loop.
-	if len(m.pipe.inflight) == 0 {
-		return nil
+// channel, then lets the watchdog abandon anything past its deadline. It
+// runs on the machine goroutine at dispatch boundaries — precise
+// architected states — which is what makes publication atomic. Nothing
+// here can fail the guest: worker errors feed the retry/quarantine
+// machinery and stale or late results are dropped.
+func (m *Machine) drainAsync() {
+	// Results can only be pending while a job is in flight or abandoned;
+	// skipping the channel poll otherwise keeps the steady state
+	// (everything published) as cheap as a synchronous machine's dispatch
+	// loop.
+	if len(m.pipe.inflight) == 0 && len(m.pipe.abandoned) == 0 {
+		return
 	}
 	for {
 		select {
 		case r := <-m.pipe.done:
-			delete(m.pipe.inflight, r.job.base)
-			if err := m.publish(r); err != nil {
-				return err
+			if m.pipe.abandoned[r.job.seq] {
+				// The watchdog gave up on this job; the page may already
+				// be rescheduled (new seq) or quarantined. Drop it.
+				delete(m.pipe.abandoned, r.job.seq)
+				m.Stats.AsyncLateDrops++
+				continue
 			}
+			delete(m.pipe.inflight, r.job.base)
+			m.publish(r)
 		default:
+			m.watchdog()
 			if m.tp != nil {
 				m.tp.queueDepth(len(m.pipe.jobs), len(m.pipe.inflight))
 			}
-			return nil
+			return
 		}
+	}
+}
+
+// watchdog abandons in-flight jobs past their wall-clock deadline: the
+// job leaves the inflight set (so the page can be rescheduled through the
+// retry backoff), its seq is remembered so a late result is dropped, and
+// a replacement worker is spawned for the presumed-stuck one — bounded by
+// respawnCap, so a systematically hanging translator cannot leak a
+// goroutine per page.
+func (m *Machine) watchdog() {
+	if len(m.pipe.inflight) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for base, inf := range m.pipe.inflight {
+		if now < inf.deadlineNs {
+			continue
+		}
+		delete(m.pipe.inflight, base)
+		m.pipe.abandoned[inf.seq] = true
+		m.Stats.AsyncAbandons++
+		if m.tp != nil {
+			m.tp.asyncAbandon(m, base)
+		}
+		if m.pipe.respawns < m.pipe.workers*respawnCap {
+			m.pipe.respawns++
+			m.pipe.spawnWorker()
+			m.Stats.AsyncRespawns++
+		}
+		m.noteAsyncFailure(base, nil)
 	}
 }
 
@@ -267,8 +448,9 @@ func (m *Machine) drainAsync() error {
 // changed page bytes (a store into a not-yet-protected page raises no
 // code-modification interrupt, so the digest is re-checked here) discards
 // the result. The next dispatch of the page re-triggers translation
-// against its current contents.
-func (m *Machine) publish(r txResult) error {
+// against its current contents. A failed result feeds the
+// retry/quarantine machinery instead of erroring the guest.
+func (m *Machine) publish(r txResult) {
 	base := r.job.base
 	cur := m.Mem.Bytes(base, m.Trans.Opt.PageSize)
 	if m.epoch[base] != r.job.epoch || cur == nil || sha256.Sum256(cur) != r.job.digest {
@@ -276,10 +458,11 @@ func (m *Machine) publish(r txResult) error {
 		if m.tp != nil {
 			m.tp.asyncStale(m, base)
 		}
-		return nil
+		return
 	}
 	if r.err != nil {
-		return fmt.Errorf("vmm: async translation of page %#x: %w", base, r.err)
+		m.noteAsyncFailure(base, r.err)
+		return
 	}
 	before := m.Trans.Stats
 	m.Trans.Stats = m.Trans.Stats.Add(r.stats)
@@ -287,6 +470,7 @@ func (m *Machine) publish(r txResult) error {
 	m.Stats.GroupsBuilt += r.stats.Groups
 	m.Stats.AsyncPublishes++
 	delete(m.hot, base)
+	delete(m.pipe.retry, base)
 	if m.tp != nil {
 		m.tp.translated(m, r.job.entry, before)
 		m.tp.asyncLatency(r)
@@ -300,7 +484,76 @@ func (m *Machine) publish(r txResult) error {
 	m.Mem.SetReadOnly(base, true)
 	m.castOut()
 	m.cacheStore(r.pt)
-	return nil
+}
+
+// noteAsyncFailure is the failure funnel for one page's async translation
+// attempt: a worker error (err non-nil) or a watchdog abandonment (err
+// nil). A recovered translator panic quarantines immediately — it is
+// deterministic, so retrying would just panic again. Anything else is
+// retried after an exponentially growing, deterministically jittered span
+// of the instruction clock, until the retry budget is spent and the page
+// is quarantined interpret-only.
+func (m *Machine) noteAsyncFailure(base uint32, err error) {
+	var pf *panicFault
+	if errors.As(err, &pf) {
+		m.Stats.TranslatorPanics++
+		if m.tp != nil {
+			m.tp.translatorPanic(m, base)
+		}
+		delete(m.pipe.retry, base)
+		m.forceQuarantine(base)
+		return
+	}
+	rs := m.pipe.retry[base]
+	if rs.attempts >= m.asyncMaxRetries() {
+		m.Stats.AsyncRetriesExhausted++
+		delete(m.pipe.retry, base)
+		m.forceQuarantine(base)
+		return
+	}
+	rs.attempts++
+	rs.notBefore = m.Stats.BaseInsts() + retryBackoff(base, rs.attempts)
+	m.pipe.retry[base] = rs
+	m.Stats.AsyncRetries++
+	if m.tp != nil {
+		m.tp.asyncRetry(m, base, rs.attempts)
+	}
+}
+
+// asyncRetryBackoffBase is the first retry span in completed base
+// instructions; each further attempt doubles it.
+const asyncRetryBackoffBase = 10_000
+
+// retryBackoff returns the instruction-clock span before attempt may be
+// retried: exponential in the attempt number, plus a deterministic jitter
+// (an FNV hash of page and attempt) so many pages failing together do not
+// re-enqueue in one burst — yet identical runs still replay identically.
+func retryBackoff(base uint32, attempt int) uint64 {
+	span := uint64(asyncRetryBackoffBase) << (attempt - 1)
+	h := uint64(0xcbf29ce484222325)
+	for _, w := range [2]uint64{uint64(base), uint64(attempt)} {
+		h = (h ^ w) * 0x100000001b3
+	}
+	return span + h%(span/4+1)
+}
+
+// InflightPages returns the bases of pages currently queued or being
+// translated by the worker pool, in ascending order (for tests and the
+// chaos harness; empty on a synchronous machine).
+func (m *Machine) InflightPages() []uint32 {
+	if m.pipe == nil {
+		return nil
+	}
+	out := make([]uint32, 0, len(m.pipe.inflight))
+	for b := range m.pipe.inflight {
+		out = append(out, b)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // ---- Persistent cross-run translation cache ----
@@ -376,7 +629,9 @@ func (m *Machine) installCached(addr uint32) bool {
 
 // cacheStore writes the page's current translation back to the
 // persistent cache in layout order (write-through; a page that later
-// gains entry points is simply rewritten with the larger set).
+// gains entry points is simply rewritten with the larger set). A failed
+// write never affects translation: the store degrades to bypass
+// internally and the failure is only counted.
 func (m *Machine) cacheStore(pt *core.PageTranslation) {
 	if !m.cacheUsable(pt.Base) {
 		return
@@ -389,7 +644,9 @@ func (m *Machine) cacheStore(pt *core.PageTranslation) {
 	for _, e := range pt.Order {
 		groups = append(groups, pt.Groups[e])
 	}
-	if err := m.Opt.Cache.Save(key, groups); err == nil {
+	if stored, err := m.Opt.Cache.Save(key, groups); err != nil {
+		m.Stats.CacheSaveErrors++
+	} else if stored {
 		m.Stats.CacheStores++
 	}
 }

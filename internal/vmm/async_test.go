@@ -46,13 +46,13 @@ func runWorkloadVMM(t *testing.T, w workload.Workload, scale int, opt Options) (
 // check on the machine/worker seam.
 func TestAsyncSoak(t *testing.T) {
 	type shape struct {
-		name                  string
-		workers, depth, hot   int
+		name                string
+		workers, depth, hot int
 	}
 	shapes := []shape{
-		{"w1d1h1", 1, 1, 1},   // maximal contention: everything queues
-		{"w2d8h2", 2, 8, 2},   // defaults
-		{"w4d2h3", 4, 2, 3},   // wide pool, tight queue, late tiering
+		{"w1d1h1", 1, 1, 1}, // maximal contention: everything queues
+		{"w2d8h2", 2, 8, 2}, // defaults
+		{"w4d2h3", 4, 2, 3}, // wide pool, tight queue, late tiering
 	}
 	var published uint64
 	for _, w := range workload.All() {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"daisy/internal/core"
 	"daisy/internal/interp"
@@ -96,6 +97,20 @@ type Options struct {
 	// (0: 2). Only consulted when AsyncTranslate is on.
 	HotThreshold int
 
+	// AsyncDeadline is the wall-clock budget one in-flight translation may
+	// spend before the worker watchdog abandons it: the job leaves the
+	// inflight set (the page keeps interpreting and is rescheduled through
+	// the retry backoff), a replacement worker is spawned for the
+	// presumed-stuck one, and the late result — if it ever arrives — is
+	// dropped (0: 2s). Only consulted when AsyncTranslate is on.
+	AsyncDeadline time.Duration
+
+	// AsyncMaxRetries bounds how many times a failed worker translation
+	// (error, watchdog abandonment) is rescheduled with exponential
+	// backoff before the page is quarantined interpret-only instead
+	// (0: 3).
+	AsyncMaxRetries int
+
 	// Cache, if non-nil, is the persistent cross-run translation cache:
 	// consulted (by page-content digest + options fingerprint) before any
 	// page translation is scheduled, and written through after each one
@@ -139,6 +154,7 @@ type Stats struct {
 	Quarantines        uint64 // pages degraded to interpret-only mode
 	QuarantineReleases uint64 // quarantines expired (translation retried)
 	InjectedFaults     uint64 // chaos-harness injections observed
+	TranslatorPanics   uint64 // translator panics recovered (sync path and workers)
 
 	// Asynchronous translation pipeline (async.go).
 	AsyncEnqueues            uint64 // pages handed to the worker pool
@@ -146,11 +162,19 @@ type Stats struct {
 	AsyncQueueFull           uint64 // enqueues pushed back by a full queue
 	StaleTranslationsDropped uint64 // in-flight results discarded by epoch/digest
 
+	// Async fault tolerance (worker watchdog and retry/backoff; async.go).
+	AsyncRetries          uint64 // failed worker translations rescheduled with backoff
+	AsyncRetriesExhausted uint64 // retry budgets spent; pages quarantined instead
+	AsyncAbandons         uint64 // in-flight jobs abandoned past AsyncDeadline
+	AsyncLateDrops        uint64 // abandoned results that arrived late and were dropped
+	AsyncRespawns         uint64 // worker goroutines respawned by the watchdog
+
 	// Persistent translation cache (per-machine view; the Store keeps its
 	// own cross-machine counters).
-	CacheHits   uint64
-	CacheMisses uint64
-	CacheStores uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	CacheStores     uint64
+	CacheSaveErrors uint64 // cache writes that failed; translation unaffected
 
 	Cycles      uint64 // VLIW issue cycles (one per attempted tree instruction)
 	StallCycles uint64 // extra cycles from the attached cache model
@@ -212,6 +236,15 @@ type Machine struct {
 	// it is built or extended with a new entry group — before any of its
 	// code runs. The chaos mutation tests use it to plant translator bugs.
 	OnTranslate func(pt *core.PageTranslation)
+
+	// FaultTranslation, if non-nil, is consulted on the machine goroutine
+	// once per translation attempt of the page at base, before the
+	// translator runs (synchronous path) or as the job is enqueued (async
+	// path, where the plan rides in the job to the worker). Chaos
+	// injectors return a TranslationFault to plant panics, hangs, and
+	// errors inside the recover/watchdog barriers of guard.go and
+	// async.go; nil means translate normally.
+	FaultTranslation func(base uint32) *TranslationFault
 
 	// OnBoundary, if non-nil, observes every committed VLIW boundary with
 	// the total completed base-instruction count. In precise-exception
@@ -397,10 +430,10 @@ func (m *Machine) pageFor(addr uint32) (*core.PageTranslation, error) {
 	if m.Opt.Interpretive {
 		pt = core.EmptyPage(addr, m.Trans.Opt.PageSize)
 	} else {
-		pt, err = m.Trans.TranslatePage(addr)
+		pt, err = m.safeTranslatePage(addr)
 	}
 	if err != nil {
-		return nil, err
+		return nil, m.translatorFailed(base, err)
 	}
 	m.Stats.PagesBuilt++
 	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before.Groups
@@ -518,14 +551,9 @@ func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
 		return g, nil
 	}
 	before := m.Trans.Stats
-	var g *vliw.Group
-	if m.Opt.Interpretive {
-		g, err = m.Trans.EnsureEntryGuided(pt, addr, m.recordTrace(addr))
-	} else {
-		g, err = m.Trans.EnsureEntry(pt, addr)
-	}
+	g, err := m.safeEnsureEntry(pt, addr, m.Opt.Interpretive)
 	if err != nil {
-		return nil, err
+		return nil, m.translatorFailed(addr&^(m.Trans.Opt.PageSize-1), err)
 	}
 	m.Stats.EntriesBuilt++
 	m.Stats.GroupsBuilt += m.Trans.Stats.Groups - before.Groups
@@ -609,9 +637,7 @@ func (m *Machine) runGroupLoop() (bool, error) {
 		// Publish finished worker translations first, at this precise
 		// boundary: drainDirty has just applied any pending invalidations,
 		// so a published result is checked against final epochs.
-		if err := m.drainAsync(); err != nil {
-			return false, err
-		}
+		m.drainAsync()
 	}
 	if m.pageQuarantined(m.St.PC) {
 		// Graceful degradation: the page keeps invalidating or faulting
@@ -629,6 +655,12 @@ func (m *Machine) runGroupLoop() (bool, error) {
 		}
 	} else {
 		g, err = m.groupAt(m.St.PC)
+	}
+	if errors.Is(err, errTranslationUnavailable) {
+		// Panic isolation: the translator blew up on this page and the
+		// page is now quarantined. Architected semantics are preserved by
+		// interpreting; only speed is lost.
+		return false, m.interpret()
 	}
 	if err != nil {
 		return false, err
@@ -702,6 +734,9 @@ func (m *Machine) runGroupLoop() (bool, error) {
 				return false, nil
 			}
 			ng, err := m.groupAt(m.St.PC)
+			if errors.Is(err, errTranslationUnavailable) {
+				return false, m.interpret()
+			}
 			if err != nil {
 				return false, err
 			}

@@ -57,11 +57,23 @@ func (m *Machine) noteTrouble(base uint32) {
 	if len(q.events) < m.Opt.QuarantineThreshold {
 		return
 	}
+	m.engageQuarantine(base, q, m.Opt.QuarantineBackoff)
+}
+
+// engageQuarantine puts the page into interpret-only mode: its translation
+// is invalidated (which also poisons any in-flight worker result via the
+// epoch bump) and groupAt is bypassed until the backoff expires. Each
+// re-engagement of the same page doubles the span.
+func (m *Machine) engageQuarantine(base uint32, q *quarState, firstBackoff uint64) {
+	if firstBackoff == 0 {
+		firstBackoff = defaultQuarantineBackoff
+	}
 	if q.backoff == 0 {
-		q.backoff = m.Opt.QuarantineBackoff
+		q.backoff = firstBackoff
 	} else {
 		q.backoff *= 2
 	}
+	now := m.Stats.BaseInsts()
 	q.until = now + q.backoff
 	q.engagedAt = now
 	q.events = q.events[:0]
@@ -70,6 +82,29 @@ func (m *Machine) noteTrouble(base uint32) {
 	if m.tp != nil {
 		m.tp.quarantined(m, base, q.backoff)
 	}
+}
+
+// defaultQuarantineBackoff (completed base instructions) is used by the
+// fault-tolerance paths — translator panics, exhausted async retries —
+// when the quarantine policy itself is not configured. It must exist even
+// with QuarantineThreshold unset: panic isolation cannot be optional.
+const defaultQuarantineBackoff = 50_000
+
+// forceQuarantine engages interpret-only quarantine immediately,
+// bypassing the event-counting policy. The fault-tolerance layer uses it
+// for failures where retrying translation right away is known to be
+// useless: a translator panic (deterministic: it would panic again) or an
+// exhausted async retry budget.
+func (m *Machine) forceQuarantine(base uint32) {
+	q := m.quar[base]
+	if q == nil {
+		q = &quarState{}
+		m.quar[base] = q
+	}
+	if q.until != 0 && m.Stats.BaseInsts() < q.until {
+		return // already quarantined
+	}
+	m.engageQuarantine(base, q, m.Opt.QuarantineBackoff)
 }
 
 // pageQuarantined reports whether the page holding addr is currently in

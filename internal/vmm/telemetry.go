@@ -148,13 +148,20 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 	mk(telemetry.MCastOuts, func(m *Machine) uint64 { return m.Stats.CastOuts })
 	mk(telemetry.MQuarantines, func(m *Machine) uint64 { return m.Stats.Quarantines })
 	mk(telemetry.MQuarantineReleases, func(m *Machine) uint64 { return m.Stats.QuarantineReleases })
+	mk(telemetry.MTranslatorPanics, func(m *Machine) uint64 { return m.Stats.TranslatorPanics })
 	mk(telemetry.MAsyncEnqueues, func(m *Machine) uint64 { return m.Stats.AsyncEnqueues })
 	mk(telemetry.MAsyncPublishes, func(m *Machine) uint64 { return m.Stats.AsyncPublishes })
 	mk(telemetry.MAsyncQueueFull, func(m *Machine) uint64 { return m.Stats.AsyncQueueFull })
 	mk(telemetry.MAsyncStale, func(m *Machine) uint64 { return m.Stats.StaleTranslationsDropped })
+	mk(telemetry.MAsyncRetries, func(m *Machine) uint64 { return m.Stats.AsyncRetries })
+	mk(telemetry.MAsyncRetriesExhausted, func(m *Machine) uint64 { return m.Stats.AsyncRetriesExhausted })
+	mk(telemetry.MAsyncAbandons, func(m *Machine) uint64 { return m.Stats.AsyncAbandons })
+	mk(telemetry.MAsyncLateDrops, func(m *Machine) uint64 { return m.Stats.AsyncLateDrops })
+	mk(telemetry.MAsyncRespawns, func(m *Machine) uint64 { return m.Stats.AsyncRespawns })
 	mk(telemetry.MCacheHits, func(m *Machine) uint64 { return m.Stats.CacheHits })
 	mk(telemetry.MCacheMisses, func(m *Machine) uint64 { return m.Stats.CacheMisses })
 	mk(telemetry.MCacheStores, func(m *Machine) uint64 { return m.Stats.CacheStores })
+	mk(telemetry.MCacheSaveErrors, func(m *Machine) uint64 { return m.Stats.CacheSaveErrors })
 	m.tp = p
 }
 
@@ -310,6 +317,26 @@ func (p *telProbe) asyncStale(m *Machine, base uint32) {
 	// No-op when the invalidation that staled the result already closed the
 	// translate span.
 	p.spanEnd(m, base, telemetry.StageTranslate, telemetry.OutcomeStale)
+}
+
+// Crash-safety events (guard.go, async.go watchdog). All page-granular
+// and failure-path only, so recorded unconditionally.
+
+func (p *telProbe) translatorPanic(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvTranslatorPanic, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) asyncAbandon(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvAsyncAbandon, m.instClock(), base, base, 0)
+	// An abandoned job's translate span ends here; the retry (if any)
+	// opens a fresh one at its re-enqueue.
+	p.spanEnd(m, base, telemetry.StageTranslate, telemetry.OutcomeNone)
+}
+
+func (p *telProbe) asyncRetry(m *Machine, base uint32, attempt int) {
+	p.tel.Event(telemetry.EvAsyncRetry, m.instClock(), base, base, uint64(attempt))
+	// A failed worker result also leaves a dangling translate span.
+	p.spanEnd(m, base, telemetry.StageTranslate, telemetry.OutcomeNone)
 }
 
 func (p *telProbe) cacheHit(m *Machine, base uint32) {
