@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
+.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak tier2-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
 
 all: build
 
@@ -55,6 +55,15 @@ bench-smoke:
 profile-smoke:
 	$(GO) run ./cmd/daisy-profile -workload c_sieve -o /tmp/daisy-profile-smoke.pb -top 5 -check
 
+# Tier-2 soak: the optimizing-retranslation gates under the race detector —
+# the deopt/quarantine policy tests, the deferred-commit reconstruction
+# wall (the FuzzTier2Lockstep seed corpus replays as unit cases), and the
+# tier-2 golden equivalence + determinism suite. Byte-identical output
+# against the tier-1 goldens is the bar.
+tier2-soak:
+	$(GO) test -race ./internal/vmm -run 'TestTier2|FuzzTier2Lockstep'
+	$(GO) test -race ./internal/golden -run 'Tier2'
+
 # Coverage ratchet: total statement coverage may not fall more than 0.5
 # points below the committed COVERAGE.txt baseline. Raise the floor after
 # adding tests with `make cover-update`.
@@ -67,7 +76,7 @@ cover-update:
 	$(GO) run ./cmd/daisy-cover -profile cover.out -update
 	@echo "commit COVERAGE.txt to ratchet the floor"
 
-ci: vet build race race-hot race-async chaos-smoke chaos-soak bench-smoke profile-smoke cover
+ci: vet build race race-hot race-async chaos-smoke chaos-soak tier2-soak bench-smoke profile-smoke cover
 
 # Run the full benchmark suite once and archive the parsed metrics as a
 # dated JSON snapshot — the repository's perf trajectory. Compare two

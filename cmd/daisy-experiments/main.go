@@ -89,6 +89,7 @@ func run(scale int, only string) error {
 		{"trace", r.InterpretiveTable},
 		{"ablate", func() (*stats.Table, error) { return r.Ablations("c_sieve") }},
 		{"pipeline", r.PipelineTable},
+		{"tier2", r.Tier2Table},
 	}
 	for _, e := range exps {
 		if !want(e.id) {

@@ -37,6 +37,9 @@ func main() {
 		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
 		async      = flag.Bool("async", false, "translate asynchronously on a worker pool (hot pages only)")
 		cacheDir   = flag.String("txcache", "", "persistent translation cache directory (created if missing)")
+		tier2      = flag.Bool("tier2", false, "retranslate hot stable pages at tier-2 (optimizing) effort")
+		tier2Thr   = flag.Int("tier2-threshold", 0, "dispatches before a page is tier-2 eligible (0: default 8)")
+		tier2Stab  = flag.Uint64("tier2-stability", 0, "instructions a page must stay unmodified before tier-2 (0: default)")
 	)
 	ob := obs.Register()
 	flag.Parse()
@@ -48,16 +51,24 @@ func main() {
 		}
 		return
 	}
+	t2 := tier2Opts{on: *tier2, threshold: *tier2Thr, stability: *tier2Stab}
 	if err := run(*configName, uint32(*pageSize), *wl, *scale, *inputFile,
-		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, *async, *cacheDir, ob, flag.Args()); err != nil {
+		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, *async, *cacheDir, t2, ob, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-run:", err)
 		os.Exit(1)
 	}
 }
 
+// tier2Opts carries the optimizing-retranslation knobs from the flag set.
+type tier2Opts struct {
+	on        bool
+	threshold int
+	stability uint64
+}
+
 func run(configName string, pageSize uint32, wl string, scale int, inputFile string,
 	useInterp, check, dump bool, memSize uint32, maxInsts uint64,
-	async bool, cacheDir string, ob *obs.Flags, args []string) error {
+	async bool, cacheDir string, t2 tier2Opts, ob *obs.Flags, args []string) error {
 
 	cfg, err := vliw.ConfigByName(configName)
 	if err != nil {
@@ -97,6 +108,9 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 	opt.Trans.Config = cfg
 	opt.Trans.PageSize = pageSize
 	opt.AsyncTranslate = async
+	opt.Tier2 = t2.on
+	opt.Tier2Threshold = t2.threshold
+	opt.Tier2Stability = t2.stability
 	if cacheDir != "" {
 		cache, err := daisy.OpenTranslationCache(cacheDir)
 		if err != nil {
@@ -173,6 +187,10 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 	if async {
 		fmt.Fprintf(os.Stderr, "[daisy] async: enqueued %d, published %d, pushed back %d, stale dropped %d\n",
 			s.AsyncEnqueues, s.AsyncPublishes, s.AsyncQueueFull, s.StaleTranslationsDropped)
+	}
+	if t2.on {
+		fmt.Fprintf(os.Stderr, "[daisy] tier2: promoted %d, dispatches %d, deopts %d, demoted %d\n",
+			s.Tier2Promotions, s.Tier2Dispatches, s.Tier2Deopts, s.Tier2Demotions)
 	}
 	if opt.Cache != nil {
 		fmt.Fprintf(os.Stderr, "[daisy] txcache: hits %d, misses %d, stores %d (%s)\n",

@@ -40,10 +40,12 @@ func main() {
 		async      = flag.Bool("async", false, "translate asynchronously (adds the pipeline pane)")
 		cacheDir   = flag.String("txcache", "", "persistent translation cache directory (created if missing)")
 		profile    = flag.Bool("profile", false, "attribute guest cycles to base PCs; append the flat report")
+		tier2      = flag.Bool("tier2", false, "retranslate hot stable pages at tier-2 effort (adds the tier pane)")
+		tier2Thr   = flag.Int("tier2-threshold", 0, "dispatches before a page is tier-2 eligible (0: default 8)")
 	)
 	flag.Parse()
 	if err := run(*wlName, *scale, *configName, *sample, *interval, *once, *rows, *maxInsts,
-		*async, *cacheDir, *profile); err != nil {
+		*async, *cacheDir, *profile, *tier2, *tier2Thr); err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-top:", err)
 		os.Exit(1)
 	}
@@ -51,7 +53,7 @@ func main() {
 
 func run(wlName string, scale int, configName string, sample int,
 	interval time.Duration, once bool, rows int, maxInsts uint64,
-	async bool, cacheDir string, profile bool) error {
+	async bool, cacheDir string, profile bool, tier2 bool, tier2Thr int) error {
 
 	cfg, err := vliw.ConfigByName(configName)
 	if err != nil {
@@ -73,6 +75,8 @@ func run(wlName string, scale int, configName string, sample int,
 	opt := daisy.DefaultOptions()
 	opt.Trans.Config = cfg
 	opt.AsyncTranslate = async
+	opt.Tier2 = tier2
+	opt.Tier2Threshold = tier2Thr
 	if cacheDir != "" {
 		cache, err := daisy.OpenTranslationCache(cacheDir)
 		if err != nil {

@@ -99,7 +99,7 @@ func TestPublicChaos(t *testing.T) {
 	if !rep.Halted {
 		t.Fatal("workload did not halt")
 	}
-	if len(ChaosInjectors()) != 13 {
-		t.Fatalf("expected 13 injectors, got %d", len(ChaosInjectors()))
+	if len(ChaosInjectors()) != 15 {
+		t.Fatalf("expected 15 injectors, got %d", len(ChaosInjectors()))
 	}
 }

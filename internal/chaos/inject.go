@@ -45,6 +45,8 @@ func Injectors() []Injector {
 		workerHang{},
 		queueOverflow{},
 		stalePublish{},
+		tier2DeoptStorm{},
+		tier2StaleProfile{},
 		&cacheBitFlip{},
 		&cacheSkew{},
 		&cacheENOSPC{},
@@ -279,6 +281,60 @@ func (stalePublish) Arm(m *vmm.Machine, rng *rand.Rand) {
 		}
 		m.InjectSMC(inflight[rng.Intn(len(inflight))])
 		m.Stats.InjectedFaults++
+	}
+}
+
+// ---- Tier-2 optimizing-retranslation injectors ----
+//
+// Both force optimizing retranslation on with an aggressive promotion
+// threshold and then attack the tier-2 machinery through the
+// FaultTranslation seam, which tier2.go consults at promotion time on the
+// machine goroutine (deterministic draw order). Every disturbance must be
+// absorbed by the deopt/demotion state machine: the retained tier-1
+// translation carries the page and the guest stays byte-identical.
+
+// tier2DeoptStorm plants a deoptimization on a fraction of tier-2
+// promotions: the first dispatch of each planted translation takes the
+// full deopt path — checkpoint rollback, skip-once redispatch on tier 1,
+// deopt accounting — and repeated storms must demote the translation
+// rather than livelock it.
+type tier2DeoptStorm struct{}
+
+func (tier2DeoptStorm) Name() string { return "tier2-deopt-storm" }
+func (tier2DeoptStorm) Tune(opt *vmm.Options) {
+	opt.Tier2 = true
+	opt.Tier2Threshold = 2
+}
+func (tier2DeoptStorm) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.FaultTranslation = func(base uint32) *vmm.TranslationFault {
+		if rng.Intn(2) != 0 {
+			return nil
+		}
+		// InjectedFaults is counted by the machine when the plan is applied
+		// at promotion time (the seam is also consulted for tier-1 builds,
+		// where a deopt plan is meaningless and ignored).
+		return &vmm.TranslationFault{Deopt: true}
+	}
+}
+
+// tier2StaleProfile inverts the measured branch profile on a fraction of
+// tier-2 promotions, so the optimizing translation compiles exactly the
+// cold path: the superblock is maximally wrong about the program. The
+// path-departure machinery must carry every dispatch on tier 1 and
+// eventually demote the useless translation — never diverge.
+type tier2StaleProfile struct{}
+
+func (tier2StaleProfile) Name() string { return "tier2-stale-profile" }
+func (tier2StaleProfile) Tune(opt *vmm.Options) {
+	opt.Tier2 = true
+	opt.Tier2Threshold = 2
+}
+func (tier2StaleProfile) Arm(m *vmm.Machine, rng *rand.Rand) {
+	m.FaultTranslation = func(base uint32) *vmm.TranslationFault {
+		if rng.Intn(2) != 0 {
+			return nil
+		}
+		return &vmm.TranslationFault{StaleProfile: true}
 	}
 }
 

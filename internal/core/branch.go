@@ -154,10 +154,13 @@ func (c *groupCtx) scheduleBranch(p *path, addr uint32, in ppc.Inst) error {
 	// Split the tree (AddIfToTreePath) and clone the path.
 	tip := p.lastPV().tip
 	tip.Cond = c.newCond(vliw.Cond{CRF: fieldName, Bit: cond.bit, Sense: cond.sense})
+	// Both arms complete the same branch instruction and so share one
+	// pending-commit record set (take it once, before the path clones).
+	deoptTag := p.takeDeopt()
 	takenNode := c.newNode()
-	takenNode.Ops = append(takenNode.Ops, vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr})
+	takenNode.Ops = append(takenNode.Ops, vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr, Deopt: deoptTag})
 	fallNode := c.newNode()
-	fallNode.Ops = append(fallNode.Ops, vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr})
+	fallNode.Ops = append(fallNode.Ops, vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr, Deopt: deoptTag})
 	tip.Taken = takenNode
 	tip.Fall = fallNode
 

@@ -381,3 +381,102 @@ l:	addi r4, r4, 1
 		t.Fatal("work units should dominate scheduled instructions")
 	}
 }
+
+// TestTier2DeferredCommitSchedule drives the deferred-commit scheduler (the
+// tier-2 recipe: no per-instruction commits, Tier stamp 2) over a loop with
+// a memory-carried recurrence whose store forwarding is defeated by an
+// intervening byte store. Structurally this must produce: commit-record
+// tables at completion boundaries (the VMM's deoptimization metadata),
+// standalone load-verify parcels for speculative loads that bypassed the
+// stores (discharged at the next store or the path-close flush), and
+// deferred architected commits at the path tail.
+func TestTier2DeferredCommitSchedule(t *testing.T) {
+	src := `
+	.org 0x1000
+_start:	li    r10, 8
+	mtctr r10
+	lis   r1, 0x2
+	li    r4, 7
+loop:	stw   r4, 16(r1)
+	lwz   r5, 16(r1)
+	addi  r4, r4, 1
+	stb   r4, 3(r1)
+	lwz   r6, 16(r1)
+	add   r4, r5, r6
+	bdnz  loop
+	li    r0, 0
+	sc
+`
+	opt := DefaultOptions()
+	opt.PreciseExceptions = false
+	opt.Tier = 2
+	opt.Window = 512
+	opt.MaxJoinVisits = 8
+	opt.MaxLoopVisits = 12
+	g, _ := translate(t, src, opt)
+	checkInvariants(t, g, opt.Config)
+
+	if g.TierOf() != 2 {
+		t.Fatalf("group tier = %d, want 2", g.TierOf())
+	}
+	recs := 0
+	for _, tab := range g.Deopt {
+		recs += len(tab)
+	}
+	if len(g.Deopt) == 0 || recs == 0 {
+		t.Fatalf("tier-2 group carries no commit records (tables %d, records %d)",
+			len(g.Deopt), recs)
+	}
+	verifies, commits := 0, 0
+	for _, v := range g.VLIWs {
+		v.Walk(func(n *vliw.Node) {
+			for _, p := range n.Ops {
+				if p.Op == vliw.PCopy && p.Verify && p.D == p.A {
+					verifies++
+				}
+				if p.Op == vliw.PCopy && !p.Verify && p.D.Arch() && !p.A.Arch() {
+					commits++
+				}
+			}
+		})
+	}
+	if verifies == 0 {
+		t.Error("no standalone load-verify parcels: bypassing loads were left unchecked")
+	}
+	if commits == 0 {
+		t.Error("no deferred rename->architected commits at the path tail")
+	}
+}
+
+// TestCrLogicSchedule covers the condition-register bit operations: the
+// destination field is read-modify-write, so the op must land after both
+// source fields and any pending commit of the destination field.
+func TestCrLogicSchedule(t *testing.T) {
+	src := `
+	.org 0x100
+_start:	cmpwi r3, 4
+	cmpwi cr1, r4, 9
+	crand 2, 2, 6
+	cror  0, 1, 5
+	crxor 3, 3, 7
+	bc    12, 2, out
+	addi  r5, r5, 1
+out:	li    r0, 0
+	sc
+`
+	g, _ := translate(t, src, DefaultOptions())
+	checkInvariants(t, g, DefaultOptions().Config)
+	found := 0
+	for _, v := range g.VLIWs {
+		v.Walk(func(n *vliw.Node) {
+			for _, p := range n.Ops {
+				if p.Op == vliw.PCrand || p.Op == vliw.PCror || p.Op == vliw.PCrxor {
+					found++
+				}
+			}
+		})
+	}
+	if found < 3 {
+		t.Fatalf("found %d CR-logic parcels, want 3", found)
+	}
+}

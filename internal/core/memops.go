@@ -93,9 +93,17 @@ func (c *groupCtx) scheduleLoad(p *path, addr uint32, in ppc.Inst) {
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted, verify: bypass}
+		rec := &renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1, verify: bypass}
 		p.installGPRRename(dest, rec, v)
 		if !t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.GPR(dest), reg, addr, bypass)
+			if bypass {
+				// No inline commit will carry the verify; record the
+				// obligation so the check still runs in the bypassed
+				// stores' window even if this rename is superseded.
+				p.pendVer = append(p.pendVer, pendVerify{reg: reg,
+					min: max(v+1, p.lastStore+1), addr: addr})
+			}
 			p.emitNop(addr)
 			return
 		}
@@ -179,8 +187,15 @@ func (c *groupCtx) scheduleLoadUpdate(p *path, addr uint32, in ppc.Inst) error {
 			Spec: true, SpecLoad: bypass, BaseAddr: addr}
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := &renameRec{reg: reg, commitAt: neverCommitted, verify: bypass}
+		rec := &renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1, verify: bypass}
 		p.installGPRRename(dest, rec, v)
+		if !t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.GPR(dest), reg, addr, bypass)
+			if bypass {
+				p.pendVer = append(p.pendVer, pendVerify{reg: reg,
+					min: max(v+1, p.lastStore+1), addr: addr})
+			}
+		}
 		cmLoad = &vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
 			Verify: bypass, BaseAddr: addr}
 		readyLoad = v + 1
@@ -224,6 +239,10 @@ func (c *groupCtx) scheduleStore(p *path, addr uint32, in ppc.Inst) {
 	size, _ := memAttrs(in.Op)
 	indexed := isIndexed(in.Op)
 	src := uint8(in.RT)
+
+	// This store closes the verify window of every bypassing load still
+	// outstanding: their checks must read memory before this store lands.
+	p.dischargeVerifies(addr)
 
 	earliest := max(p.availGPR(src), p.availBase(uint8(in.RA)))
 	if indexed {
@@ -274,6 +293,7 @@ func (c *groupCtx) scheduleStoreUpdate(p *path, addr uint32, in ppc.Inst) error 
 
 	// The store reads the renamed EA; it needs a memory slot and must sit
 	// with the base commit.
+	p.dischargeVerifies(addr)
 	earliest := max(readyEA, p.availGPR(src))
 	p.ensureIndex(earliest, addr)
 	cfg := c.t.Opt.Config
@@ -304,6 +324,9 @@ func (c *groupCtx) scheduleMultiple(p *path, addr uint32, in ppc.Inst) {
 	load := in.Op == ppc.OpLmw
 	base := uint8(in.RA)
 	disp := in.Imm
+	if !load {
+		p.dischargeVerifies(addr)
+	}
 	for r := int(in.RT); r < 32; r++ {
 		p.ensureIndex(max(p.availBase(base), p.lastStore+1), addr)
 		p.ensureRoomMem(addr)

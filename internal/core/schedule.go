@@ -11,6 +11,7 @@ import (
 type renameRec struct {
 	reg      vliw.RegRef
 	commitAt int  // VLIW index of the in-order commit; neverCommitted if pending
+	ready    int  // earliest VLIW index that can read the rename (producer + 1)
 	ca       bool // the rename carries a carry extender bit
 	verify   bool // the rename is a speculated load needing load-verify
 }
@@ -71,6 +72,27 @@ type path struct {
 	// scratch registers (condition-synthesis fields, staged link values)
 	// pinned busy in newly opened VLIWs until the instruction finishes.
 	scratch []vliw.RegRef
+
+	// deopt accumulates the pending deferred commits created while
+	// scheduling the current base instruction (Tier >= 2 only); they are
+	// moved into the group table and referenced from the instruction's
+	// boundary marker by takeDeopt.
+	deopt []vliw.DeoptRec
+
+	// pendVer holds deferred-commit load-verify obligations: each bypassing
+	// speculative load must have its verify executed after the stores it
+	// bypassed commit and before any later store commits — even when its
+	// architected commit is superseded by a newer rename (its value was
+	// still consumed speculatively). Discharged at the next store or at the
+	// path-close flush, whichever comes first.
+	pendVer []pendVerify
+}
+
+// pendVerify is one outstanding load-verify obligation.
+type pendVerify struct {
+	reg  vliw.RegRef // the load's rename (the executor's spec record key)
+	min  int         // earliest legal VLIW index: after producer and bypassed stores
+	addr uint32      // the load's base address, for alias observers
 }
 
 func newPath(c *groupCtx, cont uint32) *path {
@@ -115,6 +137,12 @@ func (p *path) openVLIW(entryBase uint32) {
 		for _, r := range p.scratch {
 			markBusy(v, r)
 		}
+		// A rename with an undischarged verify obligation must survive
+		// (unrecycled) until the verify parcel reads it, even if its
+		// rename record has since been superseded.
+		for _, ob := range p.pendVer {
+			markBusy(v, ob.reg)
+		}
 	}
 	p.vs = append(p.vs, pv)
 }
@@ -140,6 +168,8 @@ func (p *path) clone() *path {
 	q := *p
 	q.vs = append([]pvliw(nil), p.vs...)
 	q.scratch = append([]vliw.RegRef(nil), p.scratch...)
+	q.deopt = append([]vliw.DeoptRec(nil), p.deopt...)
+	q.pendVer = append([]pendVerify(nil), p.pendVer...)
 	// Aliasing is preserved through a parallel-slice memo: the live rename
 	// set is small (a linear scan beats a map rebuilt on every clone).
 	c := p.c
@@ -295,9 +325,34 @@ func (p *path) emit(i int, par vliw.Parcel) {
 
 // emitNop appends a zero-resource boundary marker completing the base
 // instruction at addr (used for branches and sc, whose completion has no
-// architected register write of its own).
+// architected register write of its own). In deferred-commit mode the
+// marker also carries the instruction's pending-commit records.
 func (p *path) emitNop(addr uint32) {
-	p.emit(p.last(), vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr})
+	p.emit(p.last(), vliw.Parcel{Op: vliw.PNop, EndsInst: true, BaseAddr: addr, Deopt: p.takeDeopt()})
+}
+
+// addDeopt records one pending deferred commit created by the base
+// instruction currently being scheduled: arch's value will sit in ren
+// until the path-close flush. Only tier-2 translations pay for the
+// metadata; tier-1 imprecise mode recovers via checkpoint alone.
+func (p *path) addDeopt(arch, ren vliw.RegRef, addr uint32, verify bool) {
+	if p.c.t.Opt.Tier < 2 {
+		return
+	}
+	p.deopt = append(p.deopt, vliw.DeoptRec{Arch: arch, Ren: ren, Addr: addr, Verify: verify})
+}
+
+// takeDeopt moves the accumulated pending-commit records into the group
+// table and returns the Parcel.Deopt tag (1+index; 0 when none) for the
+// instruction's boundary marker.
+func (p *path) takeDeopt() int32 {
+	if len(p.deopt) == 0 {
+		return 0
+	}
+	g := p.c.g
+	g.Deopt = append(g.Deopt, append([]vliw.DeoptRec(nil), p.deopt...))
+	p.deopt = p.deopt[:0]
+	return int32(len(g.Deopt))
 }
 
 // mkParcel builds a parcel for a given placement index (so sources can be
@@ -365,9 +420,10 @@ func (p *path) renameGPR(dest uint8, earliest int, carry bool, mk mkParcel, addr
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ca: carry})
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1, ca: carry})
 		p.installGPRRename(dest, rec, v)
 		if !p.c.t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.GPR(dest), reg, addr, false)
 			return nil, v + 1, true // commit deferred to path close
 		}
 		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
@@ -403,9 +459,10 @@ func (p *path) renameCR(dest uint8, earliest int, mk mkParcel, addr uint32) (com
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted})
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1})
 		p.installCRRename(dest, rec, v)
 		if !p.c.t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.CRF(dest), reg, addr, false)
 			return nil, v + 1, true
 		}
 		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}), v + 1, true
@@ -441,12 +498,13 @@ func (p *path) renameCTR(earliest int, mk mkParcel, addr uint32) (commit *vliw.P
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted})
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1})
 		for j := v; j < len(p.vs); j++ {
 			p.vs[j].ctr = rec
 		}
 		p.ctrAvail = v + 1
 		if !p.c.t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.CTR, reg, addr, false)
 			return nil, v + 1, true
 		}
 		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.CTR, A: reg, BaseAddr: addr}), v + 1, true
@@ -478,9 +536,10 @@ func (p *path) scheduleGPROp(dest uint8, earliest int, carry bool, mk mkParcel, 
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ca: carry})
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1, ca: carry})
 		p.installGPRRename(dest, rec, v)
 		if !t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.GPR(dest), reg, addr, false)
 			return nil, v + 1
 		}
 		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.GPR(dest), A: reg,
@@ -527,9 +586,10 @@ func (p *path) scheduleCROp(dest uint8, earliest int, mk mkParcel, addr uint32) 
 		par.BaseAddr = addr
 		p.emit(v, par)
 		p.allocate(reg, v)
-		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted})
+		rec := p.c.newRec(renameRec{reg: reg, commitAt: neverCommitted, ready: v + 1})
 		p.installCRRename(dest, rec, v)
 		if !t.Opt.PreciseExceptions {
+			p.addDeopt(vliw.CRF(dest), reg, addr, false)
 			return nil, v + 1
 		}
 		return p.c.newCommit(vliw.Parcel{Op: vliw.PCopy, D: vliw.CRF(dest), A: reg, BaseAddr: addr}), v + 1
@@ -606,6 +666,31 @@ func (p *path) recordCommit(c *vliw.Parcel, i int) {
 	}
 }
 
+// dischargeVerifies materializes every outstanding load-verify obligation
+// as a standalone verify parcel (a self-copy of the load's rename, which
+// triggers the executor's spec-record check without touching architected
+// state). Must run before a new store is emitted — the verify compares
+// against memory as of the stores the load bypassed; a later store would
+// move the comparison to the wrong generation, turning a genuine alias
+// into a false pass (or a correct bypass into a false alias).
+func (p *path) dischargeVerifies(addr uint32) {
+	for _, ob := range p.pendVer {
+		v := ob.min
+		p.ensureIndex(v, addr)
+		for ; ; v++ {
+			if v > p.last() {
+				p.openVLIW(addr)
+			}
+			if p.roomALU(v, 1) {
+				break
+			}
+		}
+		p.emit(v, vliw.Parcel{Op: vliw.PCopy, D: ob.reg, A: ob.reg,
+			Verify: true, Spec: true, BaseAddr: ob.addr})
+	}
+	p.pendVer = p.pendVer[:0]
+}
+
 // flushDeferredCommits emits commits for every pending rename at the path
 // tail (imprecise mode only): architected state must be correct at every
 // path exit even without per-instruction commits.
@@ -613,13 +698,16 @@ func (p *path) flushDeferredCommits() {
 	if p.c.t.Opt.PreciseExceptions {
 		return
 	}
+	p.dischargeVerifies(p.cont)
 	flush := func(d vliw.RegRef, rec *renameRec) {
-		// A verify copy must land strictly after the last bypassed store.
 		p.ensureIndex(minFlushIdx(p, rec), p.cont)
 		p.ensureRoomALU(1, p.cont)
 		i := p.last()
+		// No Verify here: the obligation machinery has already checked (or
+		// is checking, in this same flush) every bypassing load in its own
+		// store window; the flush is a plain architected copy.
 		p.emit(i, vliw.Parcel{Op: vliw.PCopy, D: d, A: rec.reg,
-			CommitCA: rec.ca, Verify: rec.verify})
+			CommitCA: rec.ca})
 		rec.commitAt = i
 	}
 	for r := 0; r < 32; r++ {
@@ -638,11 +726,11 @@ func (p *path) flushDeferredCommits() {
 	}
 }
 
+// minFlushIdx is the earliest VLIW a flush copy of rec may land in: after
+// the rename's producer (parcels read their VLIW's entry values, so a copy
+// sharing the producer's VLIW would commit the stale value).
 func minFlushIdx(p *path, rec *renameRec) int {
-	if rec.verify {
-		return p.lastStore + 1
-	}
-	return 0
+	return rec.ready
 }
 
 // close terminates the path with the given exit.

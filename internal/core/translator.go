@@ -86,6 +86,14 @@ type Options struct {
 	// execution took. Only that path is compiled; the other side and any
 	// desynchronization close with lazy entry-point exits.
 	TraceGuide func(pc uint32) (taken bool, ok bool)
+
+	// Tier stamps the produced groups with the translation effort level
+	// (zero reads as tier 1). At Tier >= 2 the scheduler additionally
+	// records, at every instruction-completion boundary, which architected
+	// results are still pending in rename registers (vliw.DeoptRec) — the
+	// metadata the VMM needs to reconstruct exact architected state when a
+	// deferred-commit translation deoptimizes mid-group.
+	Tier uint8
 }
 
 // DefaultOptions returns the configuration used for the paper's headline
@@ -286,7 +294,7 @@ func (t *Translator) TranslateGroup(entry uint32) (*vliw.Group, []uint32, error)
 	defer func() { t.Stats.Nanos += uint64(time.Since(start)) }()
 	c := &groupCtx{
 		t:        t,
-		g:        &vliw.Group{Entry: entry},
+		g:        &vliw.Group{Entry: entry, Tier: t.Opt.Tier},
 		pageBase: entry &^ (t.Opt.PageSize - 1),
 		sched:    make(map[uint32]int),
 		loopHead: make(map[uint32]bool),
@@ -375,5 +383,6 @@ func (c *groupCtx) scheduleOne(p *path) error {
 		return fmt.Errorf("core: at %#x (%s): %w", addr, in, err)
 	}
 	p.scratch = p.scratch[:0]
+	p.deopt = p.deopt[:0]
 	return nil
 }

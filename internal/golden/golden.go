@@ -95,11 +95,18 @@ func fnvBytes(b []byte) uint64 {
 	return d
 }
 
-// CaptureRun executes one workload on the DAISY machine, digesting the full
-// architected state at every StepGroup boundary. A non-nil telemetry
-// instance is attached to the machine (and synced at the end), so the same
-// run also yields the event-stream golden.
+// CaptureRun executes one workload on the DAISY machine with the default
+// options, digesting the full architected state at every StepGroup
+// boundary. A non-nil telemetry instance is attached to the machine (and
+// synced at the end), so the same run also yields the event-stream golden.
 func CaptureRun(w workload.Workload, scale int, tel *telemetry.Telemetry) (*Run, error) {
+	return CaptureRunOpts(w, scale, tel, vmm.DefaultOptions())
+}
+
+// CaptureRunOpts is CaptureRun under explicit machine options: the tier-2
+// equivalence wall runs the same workloads with optimizing retranslation
+// pinned on and holds their guest output to the tier-1 fingerprints.
+func CaptureRunOpts(w workload.Workload, scale int, tel *telemetry.Telemetry, opt vmm.Options) (*Run, error) {
 	prog, err := w.Build()
 	if err != nil {
 		return nil, err
@@ -109,7 +116,7 @@ func CaptureRun(w workload.Workload, scale int, tel *telemetry.Telemetry) (*Run,
 		return nil, err
 	}
 	env := &interp.Env{In: w.Input(scale)}
-	ma, err := vmm.NewMachine(m, env, vmm.DefaultOptions())
+	ma, err := vmm.NewMachine(m, env, opt)
 	if err != nil {
 		return nil, err
 	}

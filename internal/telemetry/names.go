@@ -44,6 +44,15 @@ const (
 	MAsyncLateDrops        = "daisy_async_late_drops"         // abandoned results that arrived late, dropped
 	MAsyncRespawns         = "daisy_async_respawns"           // worker goroutines respawned by the watchdog
 
+	// Optimizing retranslation tier (vmm/tier2.go).
+	MTier2Promotions     = "daisy_tier2_promotions"      // pages retranslated at tier-2 effort
+	MTier2Publishes      = "daisy_tier2_publishes"       // async tier-2 results installed
+	MTier2Dispatches     = "daisy_tier2_dispatches"      // dispatches served by a tier-2 group
+	MTier2Deopts         = "daisy_tier2_deopts"          // tier-2 faults deoptimized to tier-1
+	MTier2PathDepartures = "daisy_tier2_path_departures" // dispatches that left the tier-2 hot path
+	MTier2Demotions      = "daisy_tier2_demotions"       // tier-2 translations retired
+	MTier2ProfileInsts   = "daisy_tier2_profile_insts"   // insts interpreted by the promotion profiler
+
 	// Persistent translation cache.
 	MCacheHits       = "daisy_txcache_hits"
 	MCacheMisses     = "daisy_txcache_misses"

@@ -74,6 +74,15 @@ func RenderTop(s Snapshot, wall time.Duration, opt TopOptions) string {
 		}
 	}
 
+	// Tier pane: only rendered when optimizing retranslation actually did
+	// something, so tier-1-only runs keep the previous screen byte-for-byte.
+	prom := ctr(MTier2Promotions)
+	if prom+ctr(MTier2Dispatches)+ctr(MTier2ProfileInsts) > 0 {
+		fmt.Fprintf(&b, "tier2: promoted=%d pub=%d dispatches=%d deopts=%d departures=%d demoted=%d\n",
+			prom, ctr(MTier2Publishes), ctr(MTier2Dispatches), ctr(MTier2Deopts),
+			ctr(MTier2PathDepartures), ctr(MTier2Demotions))
+	}
+
 	row := func(title string, hot []HotCount) {
 		fmt.Fprintf(&b, "%s (sampled dispatches)\n", title)
 		if len(hot) == 0 {

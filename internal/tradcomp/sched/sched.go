@@ -1,0 +1,69 @@
+// Package sched factors the traditional-compiler scheduling recipe out of
+// internal/tradcomp so the VMM can reuse it without an import cycle
+// (tradcomp imports vmm to run its measurements).
+//
+// A Recipe is the set of scheduler budgets that distinguish an optimizing
+// translation from DAISY's fast one-pass tier: a much larger window,
+// deeper join/unroll budgets, deferred commits (imprecise exceptions with
+// dead-commit elimination — renamed results superseded before a path exit
+// are simply never committed), and profile-directed branch probabilities.
+// Derive applies a recipe to a tier-1 option set, so every knob the recipe
+// does not own (machine config, page size, speculation switches) is
+// inherited unchanged and the two tiers stay comparable.
+package sched
+
+import "daisy/internal/core"
+
+// Recipe is one optimizing-scheduler configuration.
+type Recipe struct {
+	// Window is the maximum path length in base instructions.
+	Window int
+	// MaxJoinVisits and MaxLoopVisits are the §A.1 revisit budgets.
+	MaxJoinVisits int
+	MaxLoopVisits int
+	// CrossPage lifts the page-boundary stopping rule (sound only for a
+	// static whole-program compiler; a runtime tier must keep it off so
+	// SMC invalidation stays page-granular).
+	CrossPage bool
+	// Tier stamps the produced groups (and, at >= 2, turns on the
+	// pending-commit metadata the VMM's deoptimizer needs).
+	Tier uint8
+}
+
+// Scheduler derives translator options for an optimizing retranslation.
+// It is the seam between the VMM and the traditional-compiler machinery:
+// the VMM holds a Scheduler, not a tradcomp dependency.
+type Scheduler interface {
+	// Derive returns base reconfigured to this scheduler's recipe, with
+	// prob (may be nil) as the profile feedback for branch probabilities.
+	Derive(base core.Options, prob func(pc uint32) (float64, bool)) core.Options
+}
+
+// Derive implements Scheduler.
+func (r Recipe) Derive(base core.Options, prob func(pc uint32) (float64, bool)) core.Options {
+	opt := base
+	opt.PreciseExceptions = false
+	opt.CrossPage = r.CrossPage
+	opt.Window = r.Window
+	opt.MaxJoinVisits = r.MaxJoinVisits
+	opt.MaxLoopVisits = r.MaxLoopVisits
+	opt.ProfileProb = prob
+	opt.TraceGuide = nil
+	opt.Tier = r.Tier
+	return opt
+}
+
+// Baseline is the Table 5.2 traditional-compiler recipe: whole-program
+// scope with the big budgets tradcomp has always used.
+func Baseline() Recipe {
+	return Recipe{Window: 512, MaxJoinVisits: 8, MaxLoopVisits: 12, CrossPage: true, Tier: 1}
+}
+
+// Tier2 is the runtime optimizing tier: the same budgets as the static
+// baseline, but page-scoped (CrossPage off) so SMC invalidation and the
+// page-granular deopt machinery stay sound, and Tier stamped 2 so the
+// scheduler emits superblock commit records at every precise-exception
+// boundary.
+func Tier2() Recipe {
+	return Recipe{Window: 512, MaxJoinVisits: 8, MaxLoopVisits: 12, CrossPage: false, Tier: 2}
+}

@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"testing"
+
+	"daisy/internal/core"
+)
+
+// TestRecipesDerive pins the two shipped recipes: the static baseline and
+// the runtime tier-2 differ only in page scope and tier stamp, and Derive
+// must leave every knob a recipe does not own untouched.
+func TestRecipesDerive(t *testing.T) {
+	base := core.DefaultOptions()
+	base.TraceGuide = func(pc uint32) (bool, bool) { return true, true }
+	prob := func(pc uint32) (float64, bool) { return 0.5, true }
+
+	b := Baseline().Derive(base, prob)
+	t2 := Tier2().Derive(base, prob)
+
+	for _, o := range []core.Options{b, t2} {
+		if o.PreciseExceptions {
+			t.Error("optimizing recipes must defer commits")
+		}
+		if o.Window != 512 || o.MaxJoinVisits != 8 || o.MaxLoopVisits != 12 {
+			t.Errorf("budgets not applied: %+v", o)
+		}
+		if o.TraceGuide != nil {
+			t.Error("Derive must clear any interpretive-compilation guide")
+		}
+		if o.ProfileProb == nil {
+			t.Error("profile feedback not wired through")
+		}
+		if o.Config != base.Config || o.PageSize != base.PageSize ||
+			o.SpeculateLoads != base.SpeculateLoads {
+			t.Error("inherited knobs were modified")
+		}
+	}
+	if !b.CrossPage || b.Tier != 1 {
+		t.Errorf("baseline: CrossPage=%v Tier=%d, want whole-program tier 1", b.CrossPage, b.Tier)
+	}
+	if t2.CrossPage || t2.Tier != 2 {
+		t.Errorf("tier2: CrossPage=%v Tier=%d, want page-scoped tier 2", t2.CrossPage, t2.Tier)
+	}
+}

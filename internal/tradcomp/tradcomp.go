@@ -20,6 +20,7 @@ import (
 	"daisy/internal/core"
 	"daisy/internal/interp"
 	"daisy/internal/mem"
+	"daisy/internal/tradcomp/sched"
 	"daisy/internal/vliw"
 	"daisy/internal/vmm"
 )
@@ -70,19 +71,17 @@ func Train(prog *asm.Program, input []byte, memSize uint32) (*Profile, error) {
 }
 
 // Options returns the baseline's translator options for a machine
-// configuration and profile.
+// configuration and profile, derived through the shared scheduling recipe
+// (sched.Baseline) so the VMM's optimizing tier and this static baseline
+// cannot drift apart.
 func Options(cfg vliw.Config, pr *Profile) core.Options {
-	opt := core.DefaultOptions()
-	opt.Config = cfg
-	opt.PreciseExceptions = false
-	opt.CrossPage = true
-	opt.Window = 512
-	opt.MaxJoinVisits = 8
-	opt.MaxLoopVisits = 12
+	base := core.DefaultOptions()
+	base.Config = cfg
+	var prob func(pc uint32) (float64, bool)
 	if pr != nil {
-		opt.ProfileProb = pr.Prob
+		prob = pr.Prob
 	}
-	return opt
+	return sched.Baseline().Derive(base, prob)
 }
 
 // Measure runs the program compiled by the baseline and reports its ILP;

@@ -36,8 +36,9 @@ func (s Stats) Sub(o Stats) Stats {
 // base-instruction boundary; execution resumes by interpreting from Resume.
 type Fault struct {
 	VLIW    *VLIW
-	Node    *Node // node holding the faulting parcel (nil for condition faults)
-	Parcel  int   // index within Node.Ops, -1 for condition/store-phase faults
+	Node    *Node  // node holding the faulting parcel (nil for condition faults)
+	Parcel  int    // index within Node.Ops, -1 for condition/store-phase faults
+	StorePC uint32 // base address of the faulting store (store-phase faults only; 0 otherwise)
 	Resume  uint32
 	Cause   error // underlying storage fault, nil for pure alias recovery
 	Alias   bool  // load-verify mismatch rather than an exception
@@ -503,11 +504,23 @@ func (e *Executor) Exec(v *VLIW) (Exit, *Fault) {
 		s := &e.stores[i]
 		if e.FaultHook != nil {
 			if f := e.FaultHook(s.pc, s.addr, int(s.size), true); f != nil {
-				return e.fail(v, n, -1, f, false, step)
+				ex, flt := e.fail(v, n, -1, f, false, step)
+				if i == 0 {
+					// Only the first pending store is attributable: with
+					// earlier uncommitted stores in the VLIW the boundary
+					// necessarily precedes this one (and a same-pc earlier
+					// instance would make the attribution ambiguous).
+					flt.StorePC = s.pc
+				}
+				return ex, flt
 			}
 		}
 		if err := e.Mem.CheckWrite(s.addr, int(s.size)); err != nil {
-			return e.fail(v, n, -1, err, false, step)
+			ex, flt := e.fail(v, n, -1, err, false, step)
+			if i == 0 {
+				flt.StorePC = s.pc
+			}
+			return ex, flt
 		}
 		if e.Mem.ReadOnly(s.addr) {
 			// A store into translated code: roll back so the VMM can

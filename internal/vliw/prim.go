@@ -211,6 +211,14 @@ type Parcel struct {
 
 	EndsInst bool   // completes the base instruction at BaseAddr
 	BaseAddr uint32 // originating base-architecture instruction address
+
+	// Deopt, when non-zero on an EndsInst parcel of a tier-2 group, is
+	// 1+index into Group.Deopt: the commit records describing which
+	// architected results are still pending in rename registers at this
+	// precise-exception boundary. Zero means no pending renames. The field
+	// is translator metadata — it is not encoded into the binary format
+	// (tier-2 groups never reach the persistent cache).
+	Deopt int32
 }
 
 func (p Parcel) String() string {

@@ -130,6 +130,23 @@ func NewVLIW(id int, entryBase uint32) *VLIW {
 	}
 }
 
+// DeoptRec describes one architected result that, at some precise-
+// exception boundary of a tier-2 (deferred-commit) group, has been
+// computed into a rename register but not yet committed. The §3.5 scan
+// walk uses these records to reconstruct exact architected state when a
+// tier-2 translation deoptimizes: the pending value is read out of Ren
+// and applied to Arch, in the order the records were attached.
+type DeoptRec struct {
+	Arch RegRef // architected home the result belongs to
+	Ren  RegRef // rename register currently holding it
+	Addr uint32 // base instruction that produced the result
+	// Verify marks a speculated load bypassing a store: its pending value
+	// cannot be trusted without a memory re-check, so reconstruction
+	// through this record is inexact (the deopt falls back to the group-
+	// entry checkpoint, which is always correct).
+	Verify bool
+}
+
 // Group is the tree of VLIWs produced by translating one entry point
 // (CreateVLIWGroupForEntry in the paper).
 type Group struct {
@@ -141,6 +158,25 @@ type Group struct {
 	BaseInsts int
 	// Parcels is the total parcel count (for translation cost modeling).
 	Parcels int
+
+	// Tier records the translation effort that produced the group: 1 for
+	// the fast one-pass tier, 2 for an optimizing retranslation along a
+	// measured hot path. Zero reads as tier 1 (groups decoded from the
+	// persistent cache predate the field).
+	Tier uint8
+
+	// Deopt is the commit-record table for tier-2 groups, indexed by
+	// Parcel.Deopt-1 from EndsInst boundary parcels. Nil for tier-1
+	// groups. Not encoded (tier-2 groups are never cached).
+	Deopt [][]DeoptRec
+}
+
+// TierOf returns the group's effective tier (zero value reads as 1).
+func (g *Group) TierOf() uint8 {
+	if g.Tier == 0 {
+		return 1
+	}
+	return g.Tier
 }
 
 // Dump renders the group for debugging and the quickstart example.

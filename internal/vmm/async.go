@@ -59,6 +59,7 @@ import (
 
 	"daisy/internal/core"
 	"daisy/internal/mem"
+	"daisy/internal/tradcomp/sched"
 	"daisy/internal/txcache"
 	"daisy/internal/vliw"
 )
@@ -80,6 +81,15 @@ type txJob struct {
 	// machine goroutine at enqueue time (so seeded injectors stay
 	// deterministic) and executed by the worker inside its barriers.
 	plan *TranslationFault
+
+	// tier2 marks an optimizing retranslation of an already-live page: the
+	// worker derives the tier-2 recipe from profile (the promotion-time
+	// branch counts, measured on the machine goroutine) and the result is
+	// published through publishTier2 rather than publish. noSpec carries
+	// the page's adaptive-speculation inhibit into the recipe.
+	tier2   bool
+	profile map[uint32][2]uint64
+	noSpec  bool
 
 	// enqueuedNs stamps the handoff for the pipeline latency histograms
 	// (host clock; one stamp per page translation, never per instruction).
@@ -103,6 +113,7 @@ type txResult struct {
 type inflightJob struct {
 	seq        uint64
 	deadlineNs int64 // wall clock past which the watchdog abandons it
+	tier2      bool  // failure feeds tier-2 backoff, never the quarantine
 }
 
 // retryState tracks the failure history of one page's async translation.
@@ -225,6 +236,14 @@ func translateSnapshot(job txJob, opt core.Options) txResult {
 	mm := mem.New(job.base + uint32(len(job.snap)))
 	if err := mm.LoadImage(job.base, job.snap); err != nil {
 		return txResult{job: job, err: err}
+	}
+	if job.tier2 {
+		// An optimizing retranslation: the recipe and the promotion-time
+		// profile ride in the job, so the worker needs no machine state.
+		opt = sched.Tier2().Derive(opt, profileProb(job.profile))
+		if job.noSpec {
+			opt.SpeculateLoads = false
+		}
 	}
 	t := core.New(mm, opt)
 	pt, err := t.TranslatePage(job.entry)
@@ -377,6 +396,86 @@ func (m *Machine) enqueue(base, entry uint32) {
 	}
 }
 
+// enqueueTier2 offers an optimizing retranslation of a live page to the
+// worker pool: the machine goroutine draws the chaos plan and measures the
+// promotion-time branch profile (both deterministic), and the snapshot
+// pins the bytes the tier-2 schedule is valid for. Queue-full is the same
+// backpressure as tier-1: the page keeps running its tier-1 translation
+// and a later dispatch retries (the promotion gates are already met).
+func (m *Machine) enqueueTier2(base, entry uint32, st *t2State) {
+	if _, ok := m.pipe.inflight[base]; ok {
+		// One attempt at a time: the promotion gates stay met, so every
+		// dispatch while a job is in flight would otherwise re-enqueue it.
+		return
+	}
+	src := m.Mem.Bytes(base, m.Trans.Opt.PageSize)
+	if src == nil {
+		return
+	}
+	plan := m.plantedFault(base)
+	profile := m.tier2Profile(entry)
+	if plan != nil {
+		m.applyTier2Plan(plan, profile, st)
+	}
+	m.pipe.nextSeq++
+	job := txJob{
+		base:       base,
+		entry:      entry,
+		epoch:      m.epoch[base],
+		seq:        m.pipe.nextSeq,
+		digest:     sha256.Sum256(src),
+		snap:       append([]byte(nil), src...),
+		plan:       plan,
+		tier2:      true,
+		profile:    profile,
+		noSpec:     m.inhibit[base],
+		enqueuedNs: time.Now().UnixNano(),
+	}
+	select {
+	case m.pipe.jobs <- job:
+		m.pipe.inflight[base] = inflightJob{
+			seq:        job.seq,
+			deadlineNs: job.enqueuedNs + int64(m.asyncDeadline()),
+			tier2:      true,
+		}
+	default:
+		m.Stats.AsyncQueueFull++
+	}
+}
+
+// publishTier2 installs one finished optimizing retranslation, unless the
+// page changed underneath it (epoch bump or byte digest mismatch) — then
+// the result is dropped and the restarted stability clock decides whether
+// promotion is attempted again. A failed result backs the page's promotion
+// off; it can never quarantine the page, whose tier-1 translation is fine.
+func (m *Machine) publishTier2(r txResult) {
+	base := r.job.base
+	cur := m.Mem.Bytes(base, m.Trans.Opt.PageSize)
+	if m.epoch[base] != r.job.epoch || cur == nil || sha256.Sum256(cur) != r.job.digest {
+		m.Stats.StaleTranslationsDropped++
+		return
+	}
+	if r.err != nil {
+		var pf *panicFault
+		if errors.As(r.err, &pf) {
+			m.Stats.TranslatorPanics++
+			if m.tp != nil {
+				m.tp.translatorPanic(m, base)
+			}
+		}
+		m.tier2Backoff(base)
+		return
+	}
+	m.Trans.Stats = m.Trans.Stats.Add(r.stats)
+	m.installTier2(base, r.pt)
+	if m.tier2[base] == r.pt {
+		m.Stats.Tier2Publishes++
+		if m.tp != nil {
+			m.tp.tier2Published(m, base)
+		}
+	}
+}
+
 // drainAsync publishes every finished translation waiting on the done
 // channel, then lets the watchdog abandon anything past its deadline. It
 // runs on the machine goroutine at dispatch boundaries — precise
@@ -402,7 +501,11 @@ func (m *Machine) drainAsync() {
 				continue
 			}
 			delete(m.pipe.inflight, r.job.base)
-			m.publish(r)
+			if r.job.tier2 {
+				m.publishTier2(r)
+			} else {
+				m.publish(r)
+			}
 		default:
 			m.watchdog()
 			if m.tp != nil {
@@ -439,7 +542,14 @@ func (m *Machine) watchdog() {
 			m.pipe.spawnWorker()
 			m.Stats.AsyncRespawns++
 		}
-		m.noteAsyncFailure(base, nil)
+		if inf.tier2 {
+			// A hung optimizing retranslation costs only the optimization:
+			// back the promotion off. The page's tier-1 translation is live
+			// and must not be quarantined by a tier-2 failure.
+			m.tier2Backoff(base)
+		} else {
+			m.noteAsyncFailure(base, nil)
+		}
 	}
 }
 

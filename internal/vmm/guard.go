@@ -37,11 +37,18 @@ import (
 // entry extension as well as the async workers). Hang and Err apply only
 // to async worker jobs, whose watchdog/retry machinery is built to absorb
 // them; the synchronous path ignores them, because a synchronous
-// translation error keeps its historical fatal semantics.
+// translation error keeps its historical fatal semantics. Deopt and
+// StaleProfile apply only to tier-2 promotions (tier2.go), where the
+// deopt/demotion machinery absorbs them: a plan drawn at promotion time
+// forces the first tier-2 dispatch to deoptimize, or inverts the measured
+// branch profile so the optimizing translation compiles exactly the cold
+// path — both must leave guest output byte-identical.
 type TranslationFault struct {
-	Panic bool          // the translator panics mid-schedule
-	Hang  time.Duration // an async worker stalls this long before translating
-	Err   error         // the async translation fails with this error
+	Panic        bool          // the translator panics mid-schedule
+	Hang         time.Duration // an async worker stalls this long before translating
+	Err          error         // the async translation fails with this error
+	Deopt        bool          // tier-2: force a deopt on the first dispatch
+	StaleProfile bool          // tier-2: invert the promotion-time branch profile
 }
 
 // panicFault is the error a recovered translator panic surfaces as.

@@ -21,6 +21,7 @@ import (
 	"daisy/internal/interp"
 	"daisy/internal/mem"
 	"daisy/internal/ppc"
+	"daisy/internal/tradcomp/sched"
 	"daisy/internal/txcache"
 	"daisy/internal/vliw"
 )
@@ -116,6 +117,27 @@ type Options struct {
 	// page translation is scheduled, and written through after each one
 	// completes. Works with both the synchronous and async machines.
 	Cache *txcache.Store
+
+	// Tier2 enables optimizing retranslation (tier2.go): a page that stays
+	// hot and stable is retranslated at tier-2 effort — the traditional
+	// compiler's scheduling recipe (sched.Tier2: a larger window, deeper
+	// revisit budgets, deferred commits with dead-commit elimination) along
+	// the measured hot path. A tier-2 fault deoptimizes to the retained
+	// tier-1 translation of the same page; it never retranslates inline.
+	// Requires precise tier-1 translation (Trans.PreciseExceptions).
+	Tier2 bool
+
+	// Tier2Threshold is how many dispatches into a tier-1-translated page
+	// it takes before the page is considered hot enough to retranslate at
+	// tier-2 effort (0: 8). Only consulted when Tier2 is on.
+	Tier2Threshold int
+
+	// Tier2Stability is the stability window in completed base
+	// instructions: the page must have gone at least this long since its
+	// last invalidation before tier-2 effort is spent on it, so code that
+	// keeps self-modifying never earns an optimizing translation (0: no
+	// stability requirement). Only consulted when Tier2 is on.
+	Tier2Stability uint64
 }
 
 // DefaultOptions mirrors the paper's headline setup.
@@ -175,6 +197,15 @@ type Stats struct {
 	CacheMisses     uint64
 	CacheStores     uint64
 	CacheSaveErrors uint64 // cache writes that failed; translation unaffected
+
+	// Optimizing retranslation tier (tier2.go).
+	Tier2Promotions     uint64 // pages retranslated at tier-2 effort
+	Tier2Publishes      uint64 // async tier-2 results installed
+	Tier2Dispatches     uint64 // dispatches served by a tier-2 group
+	Tier2Deopts         uint64 // tier-2 faults deoptimized to tier-1
+	Tier2PathDepartures uint64 // dispatches that left the tier-2 hot path
+	Tier2Demotions      uint64 // tier-2 translations retired (deopt/departure storms)
+	Tier2ProfileInsts   uint64 // instructions interpreted by the promotion profiler
 
 	Cycles      uint64 // VLIW issue cycles (one per attempted tree instruction)
 	StallCycles uint64 // extra cycles from the attached cache model
@@ -281,6 +312,18 @@ type Machine struct {
 	hot   map[uint32]int
 	optFP uint64
 
+	// Optimizing retranslation tier (tier2.go). tier2 maps page base to
+	// the tier-2 translation; its keys are always a subset of pages — the
+	// tier-1 translation is retained as the deoptimization target. t2
+	// holds each page's promotion/demotion policy state; t2sched derives
+	// the optimizing translator options; t2journal is swapped into the
+	// executor while a tier-2 (deferred-commit) group runs. All nil/zero
+	// unless Opt.Tier2.
+	tier2     map[uint32]*core.PageTranslation
+	t2        map[uint32]*t2State
+	t2sched   sched.Scheduler
+	t2journal *vliw.StoreJournal
+
 	// tp is the attached telemetry probe (nil when telemetry is off; see
 	// telemetry.go — every hot-path site is a single nil check).
 	tp *telProbe
@@ -342,6 +385,12 @@ func New(m *mem.Memory, env *interp.Env, opt Options) *Machine {
 	}
 	if opt.AsyncTranslate && !opt.Interpretive {
 		ma.startPipeline()
+	}
+	if opt.Tier2 {
+		ma.tier2 = make(map[uint32]*core.PageTranslation)
+		ma.t2 = make(map[uint32]*t2State)
+		ma.t2sched = sched.Tier2()
+		ma.t2journal = &vliw.StoreJournal{}
 	}
 	return ma
 }
@@ -485,6 +534,16 @@ func (m *Machine) invalidate(base uint32) {
 	if m.tp != nil {
 		m.tp.spanInvalidate(m, base)
 	}
+	// The optimizing tier dies with the page: both the tier-2 translation
+	// and the promotion-policy state (its stability clock restarts from the
+	// invalidation). Without this, a quarantine engaging while a tier-2
+	// retranslation is pending would leak the retained tier-1 translation's
+	// tier-2 shadow — m.tier2 must always be a subset of m.pages.
+	if pt2, ok := m.tier2[base]; ok {
+		pt2.Unchain()
+		delete(m.tier2, base)
+	}
+	delete(m.t2, base)
 	pt, ok := m.pages[base]
 	if !ok {
 		return
@@ -501,8 +560,11 @@ func (m *Machine) invalidate(base uint32) {
 // executor hooks — disables chaining entirely, so PR 1's differential
 // validation still sees every dispatch the unchained machine would make.
 func (m *Machine) chainingEnabled() bool {
+	// Tier-2 mode also disables chaining: every dispatch must funnel
+	// through tier2Dispatch so the tiering policy can count it and prefer
+	// the optimizing translation — a chained tier-1 hop would bypass both.
 	return m.OnGroupStart == nil && m.OnBoundary == nil &&
-		m.Exec.FaultHook == nil && m.Exec.AliasHook == nil
+		m.Exec.FaultHook == nil && m.Exec.AliasHook == nil && !m.Opt.Tier2
 }
 
 // InvalidatePage destroys the translation of the page containing addr, if
@@ -665,6 +727,19 @@ func (m *Machine) runGroupLoop() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if m.Opt.Tier2 {
+		// Prefer a tier-2 translation of this PC when one exists, and feed
+		// the promotion policy otherwise. The executor journals a tier-2
+		// (deferred-commit) group's stores so a fault can deoptimize to the
+		// group-entry checkpoint; tier-1 groups on this machine are precise
+		// and need no journal.
+		g = m.tier2Dispatch(g)
+		if g.TierOf() >= 2 {
+			m.Exec.Journal = m.t2journal
+		} else {
+			m.Exec.Journal = nil
+		}
+	}
 	m.curGroup = g
 	m.Exec.ResetPath()
 	m.checkpoint(g.Entry)
@@ -674,6 +749,12 @@ func (m *Machine) runGroupLoop() (bool, error) {
 
 	for {
 		if err := m.checkBudget(); err != nil {
+			if m.Exec.Journal != nil {
+				// Mid-group state of a deferred-commit group is not
+				// architected; report budget exhaustion from the precise
+				// group-entry checkpoint instead.
+				m.rollbackToCheckpoint()
+			}
 			return false, err
 		}
 		exit, fault := m.Exec.Exec(v)
@@ -689,9 +770,13 @@ func (m *Machine) runGroupLoop() (bool, error) {
 		smcHit := m.drainDirty()
 
 		// A committed VLIW is a precise architected boundary (precise
-		// mode only). Syscall exits defer the callback until the service
+		// mode only). Inside a tier-2 group only path ends are precise —
+		// deferred commits flush there — so mid-path ExitNext boundaries
+		// are skipped. Syscall exits defer the callback until the service
 		// routine has run, so the observed state includes its effects.
-		if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions && exit.Kind != vliw.ExitSyscall {
+		if m.OnBoundary != nil && m.Trans.Opt.PreciseExceptions &&
+			(m.curGroup.TierOf() < 2 || exit.Kind != vliw.ExitNext) &&
+			exit.Kind != vliw.ExitSyscall {
 			m.Stats.Exec = m.Exec.Stats
 			m.OnBoundary(m.Stats.BaseInsts())
 		}
@@ -702,6 +787,13 @@ func (m *Machine) runGroupLoop() (bool, error) {
 		switch exit.Kind {
 		case vliw.ExitNext:
 			if smcHit {
+				if m.Exec.Journal != nil {
+					// A deferred-commit group's VLIW boundary is not a
+					// precise state: roll back to the group entry before
+					// handing control to the dispatcher.
+					m.rollbackToCheckpoint()
+					return false, nil
+				}
 				// The next VLIW may belong to an invalidated translation:
 				// continue at its precise entry via a fresh lookup.
 				m.St.PC = exit.Next.EntryBase
@@ -714,6 +806,12 @@ func (m *Machine) runGroupLoop() (bool, error) {
 			m.Stats.IntraEntry++
 			m.St.PC = exit.Target
 			if smcHit {
+				return false, nil
+			}
+			if m.Opt.Tier2 {
+				// Every transfer returns to the dispatcher so the tiering
+				// policy sees it: promotion counting, tier-2 preference,
+				// and the per-group journal switch all live there.
 				return false, nil
 			}
 			// A chained exit edge already names the target group: hop to
@@ -836,6 +934,11 @@ func (m *Machine) crossIndirect(tgt uint32, counter *uint64) {
 // mismatches) re-execute silently; true exceptions are also located
 // precisely with the §3.5 scan for reporting.
 func (m *Machine) recover(f *vliw.Fault) (bool, error) {
+	if m.curGroup != nil && m.curGroup.TierOf() >= 2 {
+		// A tier-2 fault deoptimizes to the retained tier-1 translation
+		// (tier2.go); it never retranslates or interprets inline.
+		return m.deoptimize(f)
+	}
 	if !m.Trans.Opt.PreciseExceptions {
 		// Appendix B-style recovery: without per-instruction commits, a
 		// VLIW entry is not a precise boundary — but the group entry is
@@ -973,6 +1076,19 @@ func (m *Machine) checkpoint(entry uint32) {
 	m.ckptPC = entry
 	m.ckptInsts = m.Exec.Stats.BaseInsts
 	m.Exec.Journal.Reset()
+}
+
+// rollbackToCheckpoint rewinds a deferred-commit group to its entry: the
+// journaled stores are undone, the register file and PC return to the
+// checkpoint, and the rolled-back instructions are uncounted. The result
+// is the precise architected state the group was entered with.
+func (m *Machine) rollbackToCheckpoint() {
+	m.Exec.Journal.Undo(m.Mem)
+	m.Exec.RF = m.ckptRF
+	m.St.PC = m.ckptPC
+	m.Exec.Stats.BaseInsts = m.ckptInsts
+	m.Stats.Exec = m.Exec.Stats
+	m.Exec.ClearSpec()
 }
 
 // drainDirty invalidates the translations of pages whose code was

@@ -99,6 +99,145 @@ func (m *Machine) scanNodes(startPC uint32, nodes []*vliw.Node, stopNode *vliw.N
 	return w.pc, w.ok
 }
 
+// pendEnt tracks one architected result still living in a rename register
+// during the ReconstructFault walk.
+type pendEnt struct {
+	ren      vliw.RegRef
+	addr     uint32 // base instruction that produced the value
+	verify   bool   // speculated-load value; needs a memory re-check
+	poisoned bool   // the rename was overwritten after the record attached
+}
+
+// ReconstructFault extends the §3.5 scan over the superblock commit records
+// of a tier-2 (deferred-commit) group: it rebuilds the precise architected
+// state at the faulting VLIW's entry boundary — the last point the executor
+// can roll back to — from the group-entry correspondence, the logged path,
+// and the DeoptRec tables attached at each completed-instruction marker.
+//
+// It returns the base PC of the next instruction to complete at that
+// boundary, the architected register file with every still-pending rename
+// folded back into its architected home, and whether the pair is exact:
+// exact is false when the PC walk loses the thread (an unreconstructible
+// CTR branch), a pending value cannot be trusted (a load-verify record, an
+// exception tag, a rename overwritten since its record attached), or base
+// instructions inside the faulting — and therefore rolled-back — VLIW had
+// already completed, so the true faulting instruction lies past the
+// reported boundary. An inexact reconstruction is still safe: deoptimize
+// falls back to the group-entry checkpoint regardless; exactness only
+// grades the state handed to fault observers.
+//
+// Must be called before the deoptimizer's checkpoint rollback: the pending
+// values are read live out of the executor's rename registers.
+func (m *Machine) ReconstructFault(f *vliw.Fault) (uint32, vliw.RegFile, bool) {
+	steps := m.Exec.Steps
+	g := m.curGroup
+	if g == nil || len(steps) == 0 {
+		return m.ckptPC, m.ckptRF, false
+	}
+	w := &scanWalker{m: m, pc: g.Entry, ok: true}
+	pending := make(map[vliw.RegRef]*pendEnt)
+	pcOK := true
+
+	// The last step is the faulting VLIW, which the executor rolled back in
+	// full: it contributes nothing to architected state. Every earlier step
+	// is a completed VLIW whose writes are live in Exec.RF.
+	for _, s := range steps[:len(steps)-1] {
+		m.scanBuf = vliw.StepNodes(m.scanBuf[:0], g, s)
+		for i, n := range m.scanBuf {
+			for _, p := range n.Ops {
+				reconstructParcel(g, &p, pending)
+				if p.EndsInst && pcOK && !w.advance() {
+					pcOK = false
+				}
+			}
+			if n.Cond != nil && i+1 < len(m.scanBuf) {
+				w.dirs = append(w.dirs, m.scanBuf[i+1] == n.Taken)
+			}
+		}
+	}
+
+	// Walk the faulting VLIW's partial path only to learn whether any base
+	// instruction completed before the faulting parcel; a marker there means
+	// the rolled-back boundary under-reports the faulting address.
+	exact := pcOK && w.ok
+	if f.Parcel < 0 && f.StorePC != 0 {
+		// Store-commit-phase fault: the parcel position is unknown (stores
+		// validate together at VLIW end), but the executor names the store's
+		// base instruction, so the boundary is exact iff that store is the
+		// next instruction to complete there.
+		if !pcOK || w.pc != f.StorePC {
+			exact = false
+		}
+	} else {
+		m.scanBuf = vliw.StepNodes(m.scanBuf[:0], g, steps[len(steps)-1])
+		for _, n := range m.scanBuf {
+			limit := len(n.Ops)
+			if n == f.Node && f.Parcel >= 0 && f.Parcel < limit {
+				limit = f.Parcel
+			}
+			for k := 0; k < limit; k++ {
+				if n.Ops[k].EndsInst {
+					exact = false
+				}
+			}
+			if n == f.Node {
+				break
+			}
+		}
+	}
+
+	// Fold the pending renames back into their architected homes. The map
+	// holds only the newest record per home, so application order between
+	// distinct homes does not matter.
+	rf := m.Exec.RF
+	for arch, ent := range pending {
+		v, tag, _ := m.Exec.RF.Read(ent.ren)
+		rf.Write(arch, v)
+		if tag || ent.verify || ent.poisoned {
+			exact = false
+		}
+	}
+	return w.pc, rf, exact
+}
+
+// reconstructParcel feeds one executed parcel of a completed VLIW through
+// the pending-rename bookkeeping.
+func reconstructParcel(g *vliw.Group, p *vliw.Parcel, pending map[vliw.RegRef]*pendEnt) {
+	switch {
+	case p.Op == vliw.PStore || p.Op == vliw.PNop:
+		// A store's D is its value source and a nop writes nothing: neither
+		// retires nor poisons a rename.
+	case p.Op == vliw.PCopy && p.D == p.A:
+		// A standalone load-verify parcel (self-copy): the value is
+		// unchanged, so any pending record naming this rename stays good.
+	case p.Op == vliw.PMtcrf:
+		// Writes the architected fields selected by FXM directly.
+		for fld := uint8(0); fld < 8; fld++ {
+			if p.FXM&(0x80>>fld) != 0 {
+				delete(pending, vliw.CRF(fld))
+			}
+		}
+	case p.D.Arch():
+		// An in-order (or deferred-flush) commit: the architected home is
+		// current again, superseding any pending record for it.
+		delete(pending, p.D)
+	case p.D.Kind != vliw.RNone:
+		// A rename write. Any record still claiming this rename as the home
+		// of an uncommitted result is now stale — the scheduler reused the
+		// register (or a new loop iteration reproduced the value).
+		for _, ent := range pending {
+			if ent.ren == p.D {
+				ent.poisoned = true
+			}
+		}
+	}
+	if p.EndsInst && p.Deopt > 0 && int(p.Deopt) <= len(g.Deopt) {
+		for _, rec := range g.Deopt[p.Deopt-1] {
+			pending[rec.Arch] = &pendEnt{ren: rec.Ren, addr: rec.Addr, verify: rec.Verify}
+		}
+	}
+}
+
 // advance consumes one completed base instruction, updating the scan PC.
 func (w *scanWalker) advance() bool {
 	word, err := w.m.Mem.Read32(w.pc)

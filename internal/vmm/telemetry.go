@@ -158,6 +158,13 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 	mk(telemetry.MAsyncAbandons, func(m *Machine) uint64 { return m.Stats.AsyncAbandons })
 	mk(telemetry.MAsyncLateDrops, func(m *Machine) uint64 { return m.Stats.AsyncLateDrops })
 	mk(telemetry.MAsyncRespawns, func(m *Machine) uint64 { return m.Stats.AsyncRespawns })
+	mk(telemetry.MTier2Promotions, func(m *Machine) uint64 { return m.Stats.Tier2Promotions })
+	mk(telemetry.MTier2Publishes, func(m *Machine) uint64 { return m.Stats.Tier2Publishes })
+	mk(telemetry.MTier2Dispatches, func(m *Machine) uint64 { return m.Stats.Tier2Dispatches })
+	mk(telemetry.MTier2Deopts, func(m *Machine) uint64 { return m.Stats.Tier2Deopts })
+	mk(telemetry.MTier2PathDepartures, func(m *Machine) uint64 { return m.Stats.Tier2PathDepartures })
+	mk(telemetry.MTier2Demotions, func(m *Machine) uint64 { return m.Stats.Tier2Demotions })
+	mk(telemetry.MTier2ProfileInsts, func(m *Machine) uint64 { return m.Stats.Tier2ProfileInsts })
 	mk(telemetry.MCacheHits, func(m *Machine) uint64 { return m.Stats.CacheHits })
 	mk(telemetry.MCacheMisses, func(m *Machine) uint64 { return m.Stats.CacheMisses })
 	mk(telemetry.MCacheStores, func(m *Machine) uint64 { return m.Stats.CacheStores })
@@ -317,6 +324,25 @@ func (p *telProbe) asyncStale(m *Machine, base uint32) {
 	// No-op when the invalidation that staled the result already closed the
 	// translate span.
 	p.spanEnd(m, base, telemetry.StageTranslate, telemetry.OutcomeStale)
+}
+
+// Tier-2 events (tier2.go). Page-granular policy transitions — promotion,
+// publish, deopt, demotion — so recorded unconditionally.
+
+func (p *telProbe) tier2Promoted(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvTier2Promote, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) tier2Published(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvTier2Publish, m.instClock(), base, base, 0)
+}
+
+func (p *telProbe) tier2Deopt(m *Machine, pc uint32) {
+	p.tel.Event(telemetry.EvTier2Deopt, m.instClock(), pc, pc&^(m.Trans.Opt.PageSize-1), 0)
+}
+
+func (p *telProbe) tier2Demoted(m *Machine, base uint32) {
+	p.tel.Event(telemetry.EvTier2Demote, m.instClock(), base, base, 0)
 }
 
 // Crash-safety events (guard.go, async.go watchdog). All page-granular

@@ -70,6 +70,19 @@ func (o *Options) Validate() error {
 	if o.AsyncDeadline > 0 && o.AsyncDeadline < time.Millisecond {
 		return fmt.Errorf("vmm: AsyncDeadline %s is below 1ms; the watchdog would abandon every translation before it could finish", o.AsyncDeadline)
 	}
+	if o.Tier2Threshold < 0 {
+		return fmt.Errorf("vmm: Tier2Threshold %d is negative (0 selects the default of 8)", o.Tier2Threshold)
+	}
+	if !o.Tier2 && (o.Tier2Threshold > 0 || o.Tier2Stability > 0) {
+		return fmt.Errorf("vmm: tier-2 options (threshold=%d, stability=%d) require Tier2",
+			o.Tier2Threshold, o.Tier2Stability)
+	}
+	if o.Tier2 && o.Interpretive {
+		return fmt.Errorf("vmm: Tier2 is incompatible with Interpretive compilation (trace-guided pages have no stable tier-1 translation to deoptimize to)")
+	}
+	if o.Tier2 && !o.Trans.PreciseExceptions {
+		return fmt.Errorf("vmm: Tier2 requires precise tier-1 translation (Trans.PreciseExceptions); an imprecise tier-1 group is not a valid deoptimization target")
+	}
 	return nil
 }
 
