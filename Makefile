@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak tier2-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
+.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak tier2-soak aot-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
 
 all: build
 
@@ -64,6 +64,16 @@ tier2-soak:
 	$(GO) test -race ./internal/vmm -run 'TestTier2|FuzzTier2Lockstep'
 	$(GO) test -race ./internal/golden -run 'Tier2'
 
+# AOT soak: whole-binary pre-translation equivalence under the race
+# detector — precompile-then-run must be byte-identical to a synchronous
+# cold machine on every golden workload, stay that way while injectors
+# rewrite guest code (smc-storm) or damage the cache (cache-bitflip,
+# cache-skew), and the two-tier store must survive concurrent shared use.
+aot-soak:
+	$(GO) test -race ./internal/vmm -run 'TestPrecompile'
+	$(GO) test -race ./internal/chaos -run 'TestPrecompileUnderChaos'
+	$(GO) test -race ./internal/txcache -run 'TestHotTier|TestConcurrentSharedStore|TestSingleFlight'
+
 # Coverage ratchet: total statement coverage may not fall more than 0.5
 # points below the committed COVERAGE.txt baseline. Raise the floor after
 # adding tests with `make cover-update`.
@@ -76,7 +86,7 @@ cover-update:
 	$(GO) run ./cmd/daisy-cover -profile cover.out -update
 	@echo "commit COVERAGE.txt to ratchet the floor"
 
-ci: vet build race race-hot race-async chaos-smoke chaos-soak tier2-soak bench-smoke profile-smoke cover
+ci: vet build race race-hot race-async chaos-smoke chaos-soak tier2-soak aot-soak bench-smoke profile-smoke cover
 
 # Run the full benchmark suite once and archive the parsed metrics as a
 # dated JSON snapshot — the repository's perf trajectory. Compare two

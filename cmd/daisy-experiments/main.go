@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		scale = flag.Int("scale", 2, "benchmark input scale")
-		only  = flag.String("only", "", "comma-separated experiment ids (t51..t59, f51..f55, cost, oracle, ablate, pipeline)")
+		only  = flag.String("only", "", "comma-separated experiment ids (t51..t59, f51..f55, cost, oracle, ablate, pipeline, aot)")
 	)
 	ob := obs.Register()
 	flag.Parse()
@@ -89,6 +89,7 @@ func run(scale int, only string) error {
 		{"trace", r.InterpretiveTable},
 		{"ablate", func() (*stats.Table, error) { return r.Ablations("c_sieve") }},
 		{"pipeline", r.PipelineTable},
+		{"aot", r.AotTable},
 		{"tier2", r.Tier2Table},
 	}
 	for _, e := range exps {

@@ -6,6 +6,10 @@
 //	daisy-run [flags] prog.s          # assemble and run a source file
 //	daisy-run [flags] -workload wc    # run a built-in benchmark
 //
+// With -precompile (and -txcache DIR), the whole binary is pre-translated
+// into the persistent cache on a parallel worker pool and nothing is
+// executed — the fleet warm-up pass.
+//
 // Flags select the machine configuration, translation page size, input,
 // and whether to cross-check against the interpreter.
 package main
@@ -37,6 +41,7 @@ func main() {
 		maxInsts   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
 		async      = flag.Bool("async", false, "translate asynchronously on a worker pool (hot pages only)")
 		cacheDir   = flag.String("txcache", "", "persistent translation cache directory (created if missing)")
+		precompile = flag.Bool("precompile", false, "pre-translate the whole binary into -txcache, then exit without running")
 		tier2      = flag.Bool("tier2", false, "retranslate hot stable pages at tier-2 (optimizing) effort")
 		tier2Thr   = flag.Int("tier2-threshold", 0, "dispatches before a page is tier-2 eligible (0: default 8)")
 		tier2Stab  = flag.Uint64("tier2-stability", 0, "instructions a page must stay unmodified before tier-2 (0: default)")
@@ -53,7 +58,7 @@ func main() {
 	}
 	t2 := tier2Opts{on: *tier2, threshold: *tier2Thr, stability: *tier2Stab}
 	if err := run(*configName, uint32(*pageSize), *wl, *scale, *inputFile,
-		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, *async, *cacheDir, t2, ob, flag.Args()); err != nil {
+		*useInterp, *check, *dump, uint32(*memMB)<<20, *maxInsts, *async, *cacheDir, *precompile, t2, ob, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "daisy-run:", err)
 		os.Exit(1)
 	}
@@ -68,7 +73,7 @@ type tier2Opts struct {
 
 func run(configName string, pageSize uint32, wl string, scale int, inputFile string,
 	useInterp, check, dump bool, memSize uint32, maxInsts uint64,
-	async bool, cacheDir string, t2 tier2Opts, ob *obs.Flags, args []string) error {
+	async bool, cacheDir string, precompile bool, t2 tier2Opts, ob *obs.Flags, args []string) error {
 
 	cfg, err := vliw.ConfigByName(configName)
 	if err != nil {
@@ -129,6 +134,27 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 			return err
 		}
 		fmt.Print(g.Dump())
+	}
+
+	if precompile {
+		if opt.Cache == nil {
+			return errors.New("-precompile needs -txcache DIR (the pass has no sink without one)")
+		}
+		m := daisy.NewMemory(memSize)
+		if err := prog.Load(m); err != nil {
+			return err
+		}
+		ma, err := daisy.NewMachine(m, &daisy.Env{}, opt)
+		if err != nil {
+			return err
+		}
+		defer ma.Close()
+		rep, err := daisy.Precompile(ma, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[daisy] %v (%s)\n", rep, opt.Cache.Dir())
+		return nil
 	}
 
 	var interpOut []byte
@@ -193,8 +219,8 @@ func run(configName string, pageSize uint32, wl string, scale int, inputFile str
 			s.Tier2Promotions, s.Tier2Dispatches, s.Tier2Deopts, s.Tier2Demotions)
 	}
 	if opt.Cache != nil {
-		fmt.Fprintf(os.Stderr, "[daisy] txcache: hits %d, misses %d, stores %d (%s)\n",
-			s.CacheHits, s.CacheMisses, s.CacheStores, opt.Cache.Dir())
+		fmt.Fprintf(os.Stderr, "[daisy] txcache: hits %d (%d hot), misses %d, stores %d (%s)\n",
+			s.CacheHits, s.CacheHotHits, s.CacheMisses, s.CacheStores, opt.Cache.Dir())
 	}
 
 	if check {

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	daisy-txcache stat -dir DIR                 # entry count, bytes, health summary
+//	daisy-txcache stat -dir DIR [-deep]         # entry count, compression, health summary
 //	daisy-txcache fsck -dir DIR [-repair]       # validate every entry; -repair deletes bad ones
 //	daisy-txcache gc   -dir DIR -max-bytes N    # evict least-recently-used entries past N bytes
 package main
@@ -52,7 +52,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  daisy-txcache stat -dir DIR                # entry count, bytes, health summary
+  daisy-txcache stat -dir DIR [-deep]        # entry count, compression, health; -deep adds per-tier service
   daisy-txcache fsck -dir DIR [-repair]      # validate every entry against the Load path
   daisy-txcache gc   -dir DIR -max-bytes N   # evict least-recently-used entries past N bytes`)
 }
@@ -78,37 +78,60 @@ func open(dir string) (*txcache.Store, error) {
 func runStat(args []string) error {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
 	dir := fs.String("dir", "", "cache directory")
+	deep := fs.Bool("deep", false, "load every entry to measure per-tier service (decodes the whole store)")
 	fs.Parse(args)
-	if _, err := open(*dir); err != nil {
+	s, err := open(*dir)
+	if err != nil {
 		return err
 	}
 	ents, err := os.ReadDir(*dir)
 	if err != nil {
 		return err
 	}
-	var entries, tmp, other int
-	var bytes int64
+	var tmp, other int
 	for _, e := range ents {
-		info, err := e.Info()
-		if err != nil {
-			continue
-		}
 		switch filepath.Ext(e.Name()) {
-		case ".dtx":
-			entries++
-			bytes += info.Size()
+		case ".dtx", "":
 		case ".tmp":
 			tmp++
 		default:
 			other++
 		}
 	}
-	fmt.Printf("%s: %d entries, %d bytes\n", *dir, entries, bytes)
+	u := s.Usage()
+	fmt.Printf("%s: %d entries, %d bytes on disk\n", *dir, u.Entries, u.PayloadSize)
+	fmt.Printf("  bodies: %d raw -> %d stored bytes (ratio %.2fx, %d/%d entries compressed)\n",
+		u.RawSize, u.StoredSize, u.Ratio(), u.Compressed, u.Entries)
+	if u.Short > 0 {
+		fmt.Printf("  %d entry(ies) too short to carry a header (fsck -repair removes them)\n", u.Short)
+	}
 	if tmp > 0 {
 		fmt.Printf("  %d orphaned .tmp file(s) from interrupted writes (fsck -repair removes them)\n", tmp)
 	}
 	if other > 0 {
 		fmt.Printf("  %d unrelated file(s) (ignored by the cache)\n", other)
+	}
+	if *deep {
+		// Load the whole store twice: the first pass decodes from disk and
+		// promotes into the in-memory hot tier, the second shows what the
+		// tier then absorbs — the per-tier split a warm fleet machine sees.
+		for pass := 0; pass < 2; pass++ {
+			for _, e := range ents {
+				if k, ok := txcache.ParseName(e.Name()); ok {
+					s.Load(k)
+				}
+			}
+		}
+		st := s.Stats()
+		hotN, hotBytes := s.HotTier()
+		fmt.Printf("  deep: hot tier holds %d entries, %d decoded bytes (bound permitting)\n", hotN, hotBytes)
+		fmt.Printf("  deep: %d loads: %d hot / %d disk; served %d bytes hot, %d disk; %d decodes\n",
+			st.Hits, st.HotHits, st.Hits-st.HotHits,
+			st.BytesServedHot, st.BytesServedDisk, st.Decodes)
+		if st.Misses > 0 {
+			fmt.Printf("  deep: %d misses (%d absent, %d corrupt, %d skew, %d options)\n",
+				st.Misses, st.Absent, st.Corrupt, st.VersionSkew, st.OptionsMismatch)
+		}
 	}
 	return nil
 }

@@ -103,3 +103,60 @@ func TestPublicChaos(t *testing.T) {
 		t.Fatalf("expected 15 injectors, got %d", len(ChaosInjectors()))
 	}
 }
+
+// TestPublicPrecompile exercises the README's fleet warm-up flow: AOT
+// pre-translate a workload into a cache, then boot a machine over it and
+// check the run is served warm.
+func TestPublicPrecompile(t *testing.T) {
+	w, err := WorkloadByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := OpenTranslationCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Cache = cache
+
+	m := NewMemory(8 << 20)
+	if err := prog.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	pma, err := NewMachine(m, &Env{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pma.Close()
+	rep, err := Precompile(pma, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stored == 0 || rep.String() == "" {
+		t.Fatalf("precompile stored nothing: %v", rep)
+	}
+
+	m2 := NewMemory(8 << 20)
+	if err := prog.Load(m2); err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{In: w.Input(1)}
+	ma, err := NewMachine(m2, env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	if err := ma.Run(prog.Entry(), 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ma.Stats.CacheHits == 0 {
+		t.Fatal("precompiled machine never hit the cache")
+	}
+	if string(env.Out) != string(w.Model(w.Input(1))) {
+		t.Fatal("precompiled run output disagrees with the workload model")
+	}
+}

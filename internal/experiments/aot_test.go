@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestMeasureFleetSmall runs the fleet measurement end to end at a small
+// shape (3 machines, 1 rep) so the harness itself — both configurations
+// from empty stores, the output cross-check, the per-tier accounting —
+// stays exercised in CI. Three machines is the smallest fleet where the
+// hot tier must serve: machine 0 decodes from disk and may rewrite
+// entries it extends, machine 1 re-decodes those, machine 2 rides the
+// tier. The headline numbers live in BenchmarkFleetColdStart; this pins
+// the plumbing, not the wall clock.
+func TestMeasureFleetSmall(t *testing.T) {
+	f, err := MeasureFleet("gcc", 1, 3, t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workload != "gcc" || f.Machines != 3 {
+		t.Fatalf("wrong shape: %+v", f)
+	}
+	if f.Baseline == 0 || f.Aot == 0 || f.PrecompileWall == 0 {
+		t.Fatalf("unmeasured configuration: %+v", f)
+	}
+	if f.PrecompileWall >= f.Aot {
+		t.Fatalf("precompile pass (%v) not included in the AOT aggregate (%v)", f.PrecompileWall, f.Aot)
+	}
+	if f.Stored == 0 {
+		t.Fatal("precompile pass stored nothing")
+	}
+	if f.OutputFNV == 0 {
+		t.Fatal("no output digest recorded")
+	}
+	if f.AotHotHits == 0 || f.AotHotBytes == 0 {
+		t.Fatalf("hot tier never served the AOT fleet: %+v", f)
+	}
+	if f.BaselineDiskBytes == 0 {
+		t.Fatalf("baseline fleet never read the disk tier: %+v", f)
+	}
+	// Reduction is wall-clock and may legitimately be negative at this
+	// tiny shape; it just must be a finite percentage of the baseline.
+	if r := f.Reduction(); r > 100 || r != r {
+		t.Fatalf("implausible reduction %v", r)
+	}
+}
+
+// TestMeasureFleetUnknownWorkload pins the error path.
+func TestMeasureFleetUnknownWorkload(t *testing.T) {
+	if _, err := MeasureFleet("no-such-workload", 1, 2, t.TempDir(), 1); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+}

@@ -55,9 +55,19 @@ const (
 
 	// Persistent translation cache.
 	MCacheHits       = "daisy_txcache_hits"
+	MCacheHotHits    = "daisy_txcache_hot_hits" // hits served by the decoded in-memory tier
 	MCacheMisses     = "daisy_txcache_misses"
 	MCacheStores     = "daisy_txcache_stores"
 	MCacheSaveErrors = "daisy_txcache_save_errors" // writes that failed and degraded to bypass
+
+	// Cache miss taxonomy: the four reasons partition MCacheMisses (see
+	// txcache.MissReason), so a fleet operator can tell benign cold starts
+	// (absent) from damage (corrupt), rollouts (version skew) and
+	// configuration drift (options mismatch) at a glance.
+	MCacheMissAbsent  = "daisy_txcache_miss_absent"
+	MCacheMissCorrupt = "daisy_txcache_miss_corrupt"
+	MCacheMissSkew    = "daisy_txcache_miss_version_skew"
+	MCacheMissOptions = "daisy_txcache_miss_options"
 
 	// Histograms.
 	HILPPerGroup       = "daisy_ilp_per_group"        // base insts / VLIWs per sampled group run

@@ -69,8 +69,14 @@ func RenderTop(s Snapshot, wall time.Duration, opt TopOptions) string {
 			enq, ctr(MAsyncPublishes), ctr(MAsyncStale), ctr(MAsyncQueueFull),
 			uint64(get(s.Gauges, GAsyncQueue)), uint64(get(s.Gauges, GAsyncInflight)))
 		if hits+misses > 0 {
-			fmt.Fprintf(&b, "txcache: hits=%d misses=%d stores=%d hit%%=%.1f\n",
-				hits, misses, ctr(MCacheStores), 100*float64(hits)/float64(hits+misses))
+			fmt.Fprintf(&b, "txcache: hits=%d (hot=%d) misses=%d stores=%d hit%%=%.1f\n",
+				hits, ctr(MCacheHotHits), misses, ctr(MCacheStores),
+				100*float64(hits)/float64(hits+misses))
+			if misses > 0 {
+				fmt.Fprintf(&b, "txcache misses: absent=%d corrupt=%d skew=%d optfp=%d\n",
+					ctr(MCacheMissAbsent), ctr(MCacheMissCorrupt),
+					ctr(MCacheMissSkew), ctr(MCacheMissOptions))
+			}
 		}
 	}
 

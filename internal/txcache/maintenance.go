@@ -9,6 +9,7 @@ package txcache
 // writes, and nothing in this file can fail the guest.
 
 import (
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -185,6 +186,7 @@ func (s *Store) evict() {
 		}
 		s.total -= s.sizes[victim]
 		delete(s.sizes, victim)
+		s.dropHot(victim) // the hot tier stays a subset of the backing tier
 		s.st.Evictions++
 	}
 }
@@ -230,10 +232,82 @@ func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
 		freed += s.sizes[victim]
 		s.total -= s.sizes[victim]
 		delete(s.sizes, victim)
+		s.dropHot(victim)
 		removed++
 		s.st.Evictions++
 	}
 	return removed, freed, nil
+}
+
+// ---- Usage ----
+
+// UsageReport summarizes the disk tier's space economics from the entry
+// headers alone — no body decompression, no hot-tier promotion — so
+// `daisy-txcache stat` can report a large directory cheaply.
+type UsageReport struct {
+	Entries     int    // .dtx entries scanned
+	Compressed  int    // entries whose body is DEFLATE-compressed
+	PayloadSize uint64 // total file bytes (headers + blobs + checksums)
+	StoredSize  uint64 // body blob bytes as stored
+	RawSize     uint64 // body bytes after decompression (from the headers)
+	Short       int    // entries too short to carry a header (torn writes)
+}
+
+// Ratio returns the disk tier's compression ratio, raw bytes per stored
+// byte (1.0 = incompressible, higher is better).
+func (r UsageReport) Ratio() float64 {
+	if r.StoredSize == 0 {
+		return 1
+	}
+	return float64(r.RawSize) / float64(r.StoredSize)
+}
+
+// Usage scans every entry's fixed header. A short or unreadable entry is
+// counted, not failed: this is accounting, fsck is the validator.
+func (s *Store) Usage() UsageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep UsageReport
+	account := func(payload []byte) {
+		rep.Entries++
+		rep.PayloadSize += uint64(len(payload))
+		if len(payload) < headerSize+4 {
+			rep.Short++
+			return
+		}
+		if binary.BigEndian.Uint32(payload[0:4]) != magic {
+			rep.Short++
+			return
+		}
+		codec := payload[headerSize-5]
+		rawLen := binary.BigEndian.Uint32(payload[headerSize-4 : headerSize])
+		rep.StoredSize += uint64(len(payload) - headerSize - 4)
+		rep.RawSize += uint64(rawLen)
+		if codec == codecFlate {
+			rep.Compressed++
+		}
+	}
+	if s.dir == "" {
+		for _, payload := range s.mem {
+			account(payload)
+		}
+		return rep
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".dtx" {
+			continue
+		}
+		payload, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		account(payload)
+	}
+	return rep
 }
 
 // ---- Fsck ----
@@ -285,6 +359,7 @@ func (s *Store) Fsck(repair bool) FsckReport {
 				s.removeFromOrder(name)
 			}
 		}
+		s.dropHot(name)
 		rep.Removed++
 	}
 	check := func(name string, payload []byte) {
@@ -295,10 +370,10 @@ func (s *Store) Fsck(repair bool) FsckReport {
 			remove(name)
 			return
 		}
-		switch _, reason := decodeEntry(k, payload); reason {
+		switch _, _, reason := decodeEntry(k, payload); reason {
 		case missNone:
 			rep.OK++
-		case missVersion:
+		case missVersion, missOptions:
 			rep.VersionSkew++
 			remove(name)
 		default:
@@ -340,6 +415,11 @@ func (s *Store) Fsck(repair bool) FsckReport {
 	}
 	return rep
 }
+
+// ParseName inverts a store filename back to its content-address key.
+// Tools that walk a cache directory themselves (daisy-txcache stat -deep)
+// use it to turn directory listings into loadable keys.
+func ParseName(name string) (Key, bool) { return parseName(name) }
 
 // parseName inverts Key.filename: "%08x-%016x-%x.dtx" with a 64-hex-digit
 // digest. Anything else in the directory is not one of ours.

@@ -186,6 +186,20 @@ func TestDamageAccounting(t *testing.T) {
 		if s.Stats().VersionSkew != 1 {
 			t.Fatalf("%s: skew not accounted: %+v", name, s.Stats())
 		}
+		// An unwritten key is an Absent miss, and the four reasons must
+		// partition the total miss count.
+		other := k
+		other.PageBase += 0x1000
+		if _, hot, reason := s.LoadReason(other); hot || reason != txcache.MissAbsent {
+			t.Fatalf("%s: unwritten key: hot=%v reason=%v, want absent", name, hot, reason)
+		}
+		st := s.Stats()
+		if st.Absent != 1 {
+			t.Fatalf("%s: absent not accounted: %+v", name, st)
+		}
+		if st.Misses != st.Absent+st.Corrupt+st.VersionSkew+st.OptionsMismatch {
+			t.Fatalf("%s: miss reasons do not partition misses: %+v", name, st)
+		}
 	}
 }
 

@@ -1,0 +1,73 @@
+package vliw
+
+// Deep copies of translated groups. The hot tier of the persistent
+// translation cache keeps one pristine decoded Group per entry and serves
+// every Load from it — but a served group is mutated by its machine: the
+// page layout assigns VLIW.Addr/Bytes, and the dispatcher patches
+// Exit.Chain links. Two machines must therefore never share VLIW or Node
+// objects, so the cache hands out clones. Cloning is a straight structure
+// walk — no parsing, no validation, one bulk copy per parcel slice — which
+// is what makes a hot-tier hit cheaper than re-decoding the binary form.
+
+// CloneGroup returns a deep copy of g sharing no mutable state with it.
+// Chain links are not copied: they are per-machine dispatch state, and a
+// freshly served group starts unchained exactly like a freshly decoded
+// one. Deopt tables are not copied either (tier-2 groups are never
+// cached); the clone is always a tier-1 group like its source.
+func CloneGroup(g *Group) *Group {
+	ng := &Group{
+		Entry:     g.Entry,
+		VLIWs:     make([]*VLIW, len(g.VLIWs)),
+		BaseInsts: g.BaseInsts,
+		Parcels:   g.Parcels,
+		Tier:      g.Tier,
+	}
+	// ExitNext leaves point at sibling VLIWs; remap them through the
+	// original's identity.
+	index := make(map[*VLIW]int, len(g.VLIWs))
+	for i, v := range g.VLIWs {
+		index[v] = i
+	}
+	for i, v := range g.VLIWs {
+		ng.VLIWs[i] = &VLIW{
+			ID:        v.ID,
+			EntryBase: v.EntryBase,
+			Addr:      v.Addr,
+			Bytes:     v.Bytes,
+			NALU:      v.NALU,
+			NMem:      v.NMem,
+			NBr:       v.NBr,
+			FreeGPR:   v.FreeGPR,
+			FreeCRF:   v.FreeCRF,
+		}
+	}
+	for i, v := range g.VLIWs {
+		ng.VLIWs[i].Root = cloneNode(v.Root, index, ng.VLIWs)
+	}
+	return ng
+}
+
+func cloneNode(n *Node, index map[*VLIW]int, vliws []*VLIW) *Node {
+	if n == nil {
+		return nil
+	}
+	nn := &Node{Cond: n.Cond, Exit: n.Exit}
+	if len(n.Ops) > 0 {
+		nn.Ops = make([]Parcel, len(n.Ops))
+		copy(nn.Ops, n.Ops)
+	}
+	if n.Cond != nil {
+		c := *n.Cond
+		nn.Cond = &c
+		nn.Taken = cloneNode(n.Taken, index, vliws)
+		nn.Fall = cloneNode(n.Fall, index, vliws)
+		return nn
+	}
+	nn.Exit.Chain = nil
+	if n.Exit.Kind == ExitNext && n.Exit.Next != nil {
+		if idx, ok := index[n.Exit.Next]; ok {
+			nn.Exit.Next = vliws[idx]
+		}
+	}
+	return nn
+}

@@ -1,0 +1,78 @@
+package vliw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCloneGroupFidelity: a clone must re-encode byte-identically to its
+// source — the same bar the persistent cache's decode path is held to.
+func TestCloneGroupFidelity(t *testing.T) {
+	g := sampleGroup()
+	g.BaseInsts = 7
+	g.Parcels = 19
+	want, err := EncodeGroup(g)
+	if err != nil {
+		t.Fatalf("encode source: %v", err)
+	}
+	c := CloneGroup(g)
+	got, err := EncodeGroup(c)
+	if err != nil {
+		t.Fatalf("encode clone: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("clone re-encode differs from source (%d vs %d bytes)", len(want), len(got))
+	}
+	if c.BaseInsts != g.BaseInsts || c.Parcels != g.Parcels || c.Entry != g.Entry {
+		t.Fatalf("clone stats differ: %+v vs %+v", c, g)
+	}
+}
+
+// TestCloneGroupIsolation: mutating a clone the way a machine does —
+// layout addresses, chain patches, parcel edits — must not leak into the
+// source, and ExitNext successors must point at the clone's own VLIWs.
+func TestCloneGroupIsolation(t *testing.T) {
+	g := sampleGroup()
+	c := CloneGroup(g)
+	for i, v := range c.VLIWs {
+		if v == g.VLIWs[i] {
+			t.Fatalf("VLIW %d shared between clone and source", i)
+		}
+	}
+	// Every ExitNext in the clone must resolve inside the clone.
+	idx := make(map[*VLIW]bool, len(c.VLIWs))
+	for _, v := range c.VLIWs {
+		idx[v] = true
+	}
+	for _, v := range c.VLIWs {
+		v.Walk(func(n *Node) {
+			if n.Leaf() && n.Exit.Kind == ExitNext && !idx[n.Exit.Next] {
+				t.Fatalf("clone ExitNext points outside the clone")
+			}
+		})
+	}
+	// Mutate the clone; the source must be untouched.
+	c.VLIWs[0].Addr = 0xdead
+	c.VLIWs[0].Root.Ops[0].Imm = 99
+	c.VLIWs[0].Root.Taken.Exit.Chain = &Group{}
+	c.VLIWs[0].Root.Cond.Bit = 3
+	if g.VLIWs[0].Addr == 0xdead || g.VLIWs[0].Root.Ops[0].Imm == 99 ||
+		g.VLIWs[0].Root.Taken.Exit.Chain != nil || g.VLIWs[0].Root.Cond.Bit == 3 {
+		t.Fatalf("clone mutation leaked into source")
+	}
+}
+
+// TestCloneGroupDropsChains: chain links are per-machine dispatch state; a
+// clone must start unchained like a freshly decoded group.
+func TestCloneGroupDropsChains(t *testing.T) {
+	g := sampleGroup()
+	g.VLIWs[0].Root.Taken.Exit.Chain = &Group{}
+	c := CloneGroup(g)
+	for _, v := range c.VLIWs {
+		v.Walk(func(n *Node) {
+			if n.Leaf() && n.Exit.Chain != nil {
+				t.Fatalf("clone carried a chain link")
+			}
+		})
+	}
+}

@@ -261,6 +261,7 @@ const closeGrace = 2 * time.Second
 // unpublished results. It is a no-op on a synchronous machine. The
 // machine must not be stepped after Close.
 func (m *Machine) Close() {
+	m.flushCacheStores()
 	if m.pipe == nil {
 		return
 	}
@@ -706,17 +707,31 @@ func optionsDesc(o core.Options) string {
 // installCached consults the persistent cache for the page containing
 // addr and, on a hit, installs the decoded groups in their original
 // layout order. Corrupt or version-skewed entries read as misses inside
-// the store and fall through to fresh translation here.
+// the store and fall through to fresh translation here; the miss reason
+// is mirrored into the machine's per-reason counters.
 func (m *Machine) installCached(addr uint32) bool {
 	base := addr &^ (m.Trans.Opt.PageSize - 1)
 	key, ok := m.cacheKey(base)
 	if !ok {
 		return false
 	}
-	groups, ok := m.Opt.Cache.Load(key)
-	if !ok {
+	groups, hot, reason := m.Opt.Cache.LoadReason(key)
+	if reason != txcache.MissNone {
 		m.Stats.CacheMisses++
+		switch reason {
+		case txcache.MissAbsent:
+			m.Stats.CacheMissAbsent++
+		case txcache.MissCorrupt:
+			m.Stats.CacheMissCorrupt++
+		case txcache.MissVersion:
+			m.Stats.CacheMissSkew++
+		case txcache.MissOptions:
+			m.Stats.CacheMissOptions++
+		}
 		return false
+	}
+	if hot {
+		m.Stats.CacheHotHits++
 	}
 	pt := core.EmptyPage(base, m.Trans.Opt.PageSize)
 	for _, g := range groups {

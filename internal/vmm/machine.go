@@ -192,11 +192,18 @@ type Stats struct {
 	AsyncRespawns         uint64 // worker goroutines respawned by the watchdog
 
 	// Persistent translation cache (per-machine view; the Store keeps its
-	// own cross-machine counters).
-	CacheHits       uint64
-	CacheMisses     uint64
-	CacheStores     uint64
-	CacheSaveErrors uint64 // cache writes that failed; translation unaffected
+	// own cross-machine counters). Misses are partitioned by reason:
+	// CacheMisses == CacheMissAbsent + CacheMissCorrupt + CacheMissSkew +
+	// CacheMissOptions.
+	CacheHits        uint64
+	CacheHotHits     uint64 // hits served from the store's decoded hot tier
+	CacheMisses      uint64
+	CacheMissAbsent  uint64 // no entry under the content address
+	CacheMissCorrupt uint64 // entry damaged (checksum/decode failure)
+	CacheMissSkew    uint64 // entry from another format version
+	CacheMissOptions uint64 // entry's key echo disagreed with its address
+	CacheStores      uint64
+	CacheSaveErrors  uint64 // cache writes that failed; translation unaffected
 
 	// Optimizing retranslation tier (tier2.go).
 	Tier2Promotions     uint64 // pages retranslated at tier-2 effort
@@ -311,6 +318,14 @@ type Machine struct {
 	epoch map[uint32]uint64
 	hot   map[uint32]int
 	optFP uint64
+
+	// cachePending defers entry-extension write-through: a page that
+	// grows entry points during a run is rewritten to the persistent
+	// cache once — at halt or Close — not once per extension. The map
+	// holds the exact translation that was extended; the flush drops a
+	// page whose translation has since been invalidated (its bytes may
+	// have changed, so the pending rewrite would be mis-keyed).
+	cachePending map[uint32]*core.PageTranslation
 
 	// Optimizing retranslation tier (tier2.go). tier2 maps page base to
 	// the tier-2 translation; its keys are always a subset of pages — the
@@ -445,7 +460,12 @@ func (m *Machine) StepGroup() (halted bool, err error) {
 	halt, err := m.runGroup()
 	m.Exec.RF.ToState(&m.St)
 	if errors.Is(err, errHaltFromInterp) {
-		return true, nil
+		halt, err = true, nil
+	}
+	if halt {
+		// Program done: write the deferred entry-extension rewrites through
+		// to the persistent cache (Close catches runs that never halt).
+		m.flushCacheStores()
 	}
 	return halt, err
 }
@@ -625,10 +645,46 @@ func (m *Machine) groupAt(addr uint32) (*vliw.Group, error) {
 	if m.OnTranslate != nil {
 		m.OnTranslate(pt)
 	}
-	// The page grew a new entry group: rewrite its cache entry so the
-	// next run reloads the extended translation.
-	m.cacheStore(pt)
+	// The page grew a new entry group: its cache entry needs a rewrite so
+	// the next run reloads the extended translation. Deferred — a run
+	// discovering N entry points on one page must pay one rewrite, not N
+	// (each rewrite re-encodes and re-compresses the whole page).
+	m.cacheDefer(pt)
 	return g, nil
+}
+
+// cacheDefer schedules a write-through rewrite of the page's cache entry
+// for the next flushCacheStores (halt or Close).
+func (m *Machine) cacheDefer(pt *core.PageTranslation) {
+	if !m.cacheUsable(pt.Base) {
+		return
+	}
+	if m.cachePending == nil {
+		m.cachePending = make(map[uint32]*core.PageTranslation)
+	}
+	m.cachePending[pt.Base] = pt
+}
+
+// flushCacheStores writes every pending entry-extension rewrite. A page
+// whose pending translation is no longer the live one was invalidated in
+// between — its bytes may differ from the translation's input, so the
+// rewrite is dropped (content addressing would make it unreachable at
+// best, mis-keyed at worst).
+func (m *Machine) flushCacheStores() {
+	if len(m.cachePending) == 0 {
+		return
+	}
+	bases := make([]uint32, 0, len(m.cachePending))
+	for base := range m.cachePending {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, base := range bases {
+		if pt := m.cachePending[base]; m.pages[base] == pt {
+			m.cacheStore(pt)
+		}
+	}
+	m.cachePending = nil
 }
 
 // recordTrace interprets ahead from entry on throwaway copies of memory

@@ -166,7 +166,12 @@ func (m *Machine) AttachTelemetry(tel *telemetry.Telemetry) {
 	mk(telemetry.MTier2Demotions, func(m *Machine) uint64 { return m.Stats.Tier2Demotions })
 	mk(telemetry.MTier2ProfileInsts, func(m *Machine) uint64 { return m.Stats.Tier2ProfileInsts })
 	mk(telemetry.MCacheHits, func(m *Machine) uint64 { return m.Stats.CacheHits })
+	mk(telemetry.MCacheHotHits, func(m *Machine) uint64 { return m.Stats.CacheHotHits })
 	mk(telemetry.MCacheMisses, func(m *Machine) uint64 { return m.Stats.CacheMisses })
+	mk(telemetry.MCacheMissAbsent, func(m *Machine) uint64 { return m.Stats.CacheMissAbsent })
+	mk(telemetry.MCacheMissCorrupt, func(m *Machine) uint64 { return m.Stats.CacheMissCorrupt })
+	mk(telemetry.MCacheMissSkew, func(m *Machine) uint64 { return m.Stats.CacheMissSkew })
+	mk(telemetry.MCacheMissOptions, func(m *Machine) uint64 { return m.Stats.CacheMissOptions })
 	mk(telemetry.MCacheStores, func(m *Machine) uint64 { return m.Stats.CacheStores })
 	mk(telemetry.MCacheSaveErrors, func(m *Machine) uint64 { return m.Stats.CacheSaveErrors })
 	m.tp = p
