@@ -1,7 +1,11 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak tier2-soak aot-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments
+# Samples per benchmark in `make bench`. With 4+ samples per side,
+# daisy-trend's rank-sum test replaces the wide single-sample thresholds.
+BENCH_COUNT ?= 4
+
+.PHONY: all build test vet race race-hot race-async chaos-smoke chaos-soak tier2-soak aot-soak bench-smoke profile-smoke cover cover-update ci bench benchcmp experiments paper paper-smoke trend trend-check
 
 all: build
 
@@ -86,13 +90,17 @@ cover-update:
 	$(GO) run ./cmd/daisy-cover -profile cover.out -update
 	@echo "commit COVERAGE.txt to ratchet the floor"
 
-ci: vet build race race-hot race-async chaos-smoke chaos-soak tier2-soak aot-soak bench-smoke profile-smoke cover
+ci: vet build race race-hot race-async chaos-smoke chaos-soak tier2-soak aot-soak bench-smoke profile-smoke paper-smoke trend-check cover
 
-# Run the full benchmark suite once and archive the parsed metrics as a
-# dated JSON snapshot — the repository's perf trajectory. Compare two
-# snapshots with `make benchcmp A=BENCH_old.json B=BENCH_new.json`.
+# Run the full benchmark suite BENCH_COUNT times and archive the parsed
+# metrics as a dated JSON snapshot — the repository's perf trajectory.
+# The snapshot carries a provenance manifest and the raw per-benchmark
+# sample distributions; compare two snapshots with
+# `make benchcmp A=BENCH_old.json B=BENCH_new.json` or gate with
+# `go run ./cmd/daisy-trend check OLD NEW`.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/daisy-bench -json > BENCH_$(DATE).json
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem . | \
+		$(GO) run ./cmd/daisy-bench -json -benchtime=1x -count=$(BENCH_COUNT) > BENCH_$(DATE).json
 	@echo "wrote BENCH_$(DATE).json"
 
 benchcmp:
@@ -100,3 +108,33 @@ benchcmp:
 
 experiments:
 	$(GO) run ./cmd/daisy-experiments
+
+# One-command paper reproduction: the full experiment grid, chaos matrix,
+# profiler smoke and output cross-check into a timestamped runs/<stamp>/
+# folder. See EXPERIMENTS.md "Reproduce the paper".
+paper:
+	$(GO) run ./cmd/daisy-paper -plot
+
+# CI gate: a scale-1 grid with trimmed rep counts into a throwaway
+# folder. daisy-paper exits nonzero if any experiment fails, any output
+# digest mismatches the reference interpreter or the goldens, the chaos
+# matrix diverges, or the finished folder fails integrity validation.
+paper-smoke:
+	$(GO) run ./cmd/daisy-paper -reps 2 -fleet-reps 1 -machines 2 -chaos-seeds 1 \
+		-out $${TMPDIR:-/tmp}/daisy-paper-smoke -name ci
+
+# Render the perf-trend wall over every committed BENCH_*.json snapshot.
+trend:
+	$(GO) run ./cmd/daisy-trend wall
+
+# CI gate: benchmark the working tree (2 samples per benchmark, enough
+# for honest min-of-N) and gate the pinned headline metrics against the
+# newest committed snapshot. Wall-clock metrics only gate when both
+# snapshots come from the same host; deterministic metrics (allocs/op,
+# cycles/inst) gate everywhere. Acknowledge an intentional regression by
+# re-running with ACK="Benchmark/metric" (see EXPERIMENTS.md).
+trend-check:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=2 -benchmem . | \
+		$(GO) run ./cmd/daisy-bench -json -benchtime=1x -count=2 > $${TMPDIR:-/tmp}/daisy-trend-now.json
+	$(GO) run ./cmd/daisy-trend check $(if $(ACK),-ack "$(ACK)") \
+		$(lastword $(sort $(wildcard BENCH_*.json))) $${TMPDIR:-/tmp}/daisy-trend-now.json

@@ -3,40 +3,42 @@
 // every `make bench` writes a dated BENCH_<date>.json snapshot and
 // `make benchcmp A=old B=new` reports the deltas.
 //
+// Since schema 1 a snapshot carries a provenance manifest (git SHA, go
+// version, CPU model, GOMAXPROCS, benchtime, count) and, when the suite
+// ran with -count N, the full per-metric sample distributions alongside
+// the min summary — the raw material daisy-trend's significance test
+// needs. Both -diff and daisy-trend still accept the original headerless
+// []Result files, so the committed history stays readable forever.
+//
 // Usage:
 //
-//	go test -bench=. -benchtime=1x -benchmem | daisy-bench -json
+//	go test -bench=. -benchtime=1x -count=4 -benchmem | daisy-bench -json -benchtime=1x -count=4
 //	daisy-bench -diff BENCH_2026-08-01.json BENCH_2026-08-05.json
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
-)
 
-// Result is one parsed benchmark line: the standard ns/op, B/op and
-// allocs/op plus every custom metric attached with b.ReportMetric.
-type Result struct {
-	Name    string             `json:"name"`
-	Iters   int64              `json:"iters"`
-	Metrics map[string]float64 `json:"metrics"`
-}
+	"daisy/internal/perfwall"
+)
 
 func main() {
 	var (
-		asJSON = flag.Bool("json", false, "parse benchmark output on stdin to JSON on stdout")
-		diff   = flag.Bool("diff", false, "diff two BENCH_*.json files (args: old new)")
+		asJSON    = flag.Bool("json", false, "parse benchmark output on stdin to a schema-1 snapshot on stdout")
+		diff      = flag.Bool("diff", false, "diff two BENCH_*.json files (args: old new)")
+		benchtime = flag.String("benchtime", "", "benchtime the suite ran with, recorded in the manifest")
+		count     = flag.Int("count", 1, "count the suite ran with, recorded in the manifest")
 	)
 	flag.Parse()
 	switch {
 	case *asJSON:
-		if err := parseToJSON(); err != nil {
+		if err := parseToJSON(*benchtime, *count); err != nil {
 			fatal(err)
 		}
 	case *diff:
@@ -57,38 +59,82 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// parseToJSON reads `go test -bench` output and emits a sorted JSON array,
-// echoing the raw input to stderr so a piped `make bench` still shows the
-// live benchmark progress.
-func parseToJSON() error {
-	var results []Result
+// parseToJSON reads `go test -bench` output and emits a schema-1
+// snapshot, echoing the raw input to stderr so a piped `make bench`
+// still shows the live benchmark progress. Repeated lines for the same
+// benchmark (-count N) fold into one Result: the summary metrics keep
+// the per-metric minimum, Iters sums across runs, and the raw values
+// are retained in capture order under Samples.
+func parseToJSON(benchtime string, count int) error {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	byName := map[string]*perfwall.Result{}
+	var order []string
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(os.Stderr, line)
-		if r, ok := parseLine(line); ok {
-			results = append(results, r)
+		name, iters, metrics, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		r := byName[name]
+		if r == nil {
+			r = &perfwall.Result{Name: name,
+				Metrics: map[string]float64{},
+				Samples: map[string][]float64{}}
+			byName[name] = r
+			order = append(order, name)
+		}
+		r.Iters += iters
+		for m, v := range metrics {
+			if old, seen := r.Metrics[m]; !seen || v < old {
+				r.Metrics[m] = v
+			}
+			r.Samples[m] = append(r.Samples[m], v)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	m := perfwall.CollectManifest("daisy-bench")
+	m.BenchTime = benchtime
+	m.Count = count
+	snap := &perfwall.Snapshot{Manifest: m}
+	for _, name := range order {
+		r := *byName[name]
+		// A single run per benchmark carries no distribution worth
+		// storing; drop the redundant one-element sample arrays.
+		if allSingle(r.Samples) {
+			r.Samples = nil
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	b, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+func allSingle(samples map[string][]float64) bool {
+	for _, vs := range samples {
+		if len(vs) > 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // parseLine parses one benchmark result line of the form
 //
 //	BenchmarkName-8   1   123456 ns/op   3.14 some-metric   456 B/op   7 allocs/op
-func parseLine(line string) (Result, bool) {
+func parseLine(line string) (name string, iters int64, metrics map[string]float64, ok bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return Result{}, false
+		return "", 0, nil, false
 	}
-	name := f[0]
+	name = f[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i] // strip the -GOMAXPROCS suffix
@@ -96,57 +142,41 @@ func parseLine(line string) (Result, bool) {
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return Result{}, false
+		return "", 0, nil, false
 	}
-	r := Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	metrics = map[string]float64{}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return Result{}, false
+			return "", 0, nil, false
 		}
-		r.Metrics[f[i+1]] = v
+		metrics[f[i+1]] = v
 	}
-	return r, len(r.Metrics) > 0
-}
-
-func load(path string) (map[string]Result, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var rs []Result
-	if err := json.Unmarshal(b, &rs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	out := make(map[string]Result, len(rs))
-	for _, r := range rs {
-		out[r.Name] = r
-	}
-	return out, nil
+	return name, iters, metrics, len(metrics) > 0
 }
 
 // diffFiles prints, for every benchmark and metric present in both files,
 // old, new and the percent change (negative is an improvement for cost
-// metrics like ns/op and allocs/op).
+// metrics like ns/op and allocs/op). Accepts both snapshot forms.
 func diffFiles(oldPath, newPath string) error {
-	oldR, err := load(oldPath)
+	oldS, err := perfwall.ReadSnapshot(oldPath)
 	if err != nil {
 		return err
 	}
-	newR, err := load(newPath)
+	newS, err := perfwall.ReadSnapshot(newPath)
 	if err != nil {
 		return err
 	}
 	var names []string
-	for n := range oldR {
-		if _, ok := newR[n]; ok {
-			names = append(names, n)
+	for _, r := range oldS.Results {
+		if newS.Result(r.Name) != nil {
+			names = append(names, r.Name)
 		}
 	}
 	sort.Strings(names)
 	fmt.Printf("%-44s %-16s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta%")
 	for _, n := range names {
-		o, nw := oldR[n], newR[n]
+		o, nw := oldS.Result(n), newS.Result(n)
 		var metrics []string
 		for m := range o.Metrics {
 			if _, ok := nw.Metrics[m]; ok {

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, iters, metrics, ok := parseLine(
+		"BenchmarkExecutorThroughput-8   3   1234567 ns/op   2.50 insts/VLIW   788 allocs/op")
+	if !ok || name != "BenchmarkExecutorThroughput" || iters != 3 {
+		t.Fatalf("parse: %q %d %v", name, iters, ok)
+	}
+	if metrics["ns/op"] != 1234567 || metrics["insts/VLIW"] != 2.5 || metrics["allocs/op"] != 788 {
+		t.Fatalf("metrics: %v", metrics)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tdaisy/internal/vmm\t1.2s",
+		"BenchmarkNoMetrics-8 5",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, _, _, ok := parseLine(bad); ok {
+			t.Errorf("parsed non-result line %q", bad)
+		}
+	}
+	// No -GOMAXPROCS suffix (GOMAXPROCS=1 output keeps the bare name).
+	if n, _, _, ok := parseLine("BenchmarkBare 10 5 ns/op"); !ok || n != "BenchmarkBare" {
+		t.Fatalf("bare name: %q %v", n, ok)
+	}
+}
+
+func TestAllSingle(t *testing.T) {
+	if !allSingle(map[string][]float64{"ns/op": {1}}) {
+		t.Fatal("single sample should be droppable")
+	}
+	if allSingle(map[string][]float64{"ns/op": {1, 2}, "allocs/op": {3}}) {
+		t.Fatal("multi-sample must be retained")
+	}
+	if !allSingle(nil) {
+		t.Fatal("empty is single")
+	}
+}

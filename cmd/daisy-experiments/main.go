@@ -17,7 +17,6 @@ import (
 
 	"daisy/cmd/internal/obs"
 	"daisy/internal/experiments"
-	"daisy/internal/stats"
 )
 
 func main() {
@@ -65,42 +64,15 @@ func run(scale int, only string) error {
 		}
 	}
 
-	type exp struct {
-		id string
-		fn func() (*stats.Table, error)
-	}
-	exps := []exp{
-		{"t51", r.Table51},
-		{"f51", r.Figure51},
-		{"t52", r.Table52},
-		{"t53", r.Table53},
-		{"t54", r.Table54},
-		{"f52", r.Figure52},
-		{"t55", r.Table55},
-		{"t56", r.Table56},
-		{"t57", r.Table57},
-		{"f53", r.Figure53},
-		{"f54", r.Figure54},
-		{"f55", r.Figure55},
-		{"t58", func() (*stats.Table, error) { return r.Table58(), nil }},
-		{"t59", r.Table59},
-		{"cost", r.TranslationCost},
-		{"oracle", r.OracleTable},
-		{"trace", r.InterpretiveTable},
-		{"ablate", func() (*stats.Table, error) { return r.Ablations("c_sieve") }},
-		{"pipeline", r.PipelineTable},
-		{"aot", r.AotTable},
-		{"tier2", r.Tier2Table},
-	}
-	for _, e := range exps {
-		if !want(e.id) {
+	for _, e := range experiments.Experiments() {
+		if !want(e.ID) {
 			continue
 		}
-		t, err := e.fn()
+		t, err := e.Run(r)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Printf("[%s]\n%s\n", e.id, t)
+		fmt.Printf("[%s]\n%s\n", e.ID, t)
 	}
 	return nil
 }

@@ -62,6 +62,11 @@ type FleetM struct {
 
 	Stored    int    // pages the precompile pass wrote
 	OutputFNV uint64 // every machine in both fleets must produce this
+
+	// Per-rep aggregate wall times in milliseconds, capture order — the
+	// raw distributions behind the reported minima.
+	BaselineWallsMS []float64
+	AotWallsMS      []float64
 }
 
 // Reduction returns the AOT fleet's aggregate time-to-completion
@@ -95,11 +100,7 @@ func fleetRun(w workload.Workload, prog programImage, scale int, store *txcache.
 		return 0, 0, fmt.Errorf("experiments: fleet %s: %w", w.Name, err)
 	}
 	wall := time.Since(start)
-	var fnv uint64 = 0xcbf29ce484222325
-	for _, c := range env.Out {
-		fnv = (fnv ^ uint64(c)) * 0x100000001b3
-	}
-	return wall, fnv, nil
+	return wall, OutputFNV(env.Out), nil
 }
 
 // programImage caches the assembled binary so fleet machines don't
@@ -241,6 +242,8 @@ func MeasureFleet(name string, scale, machines int, dir string, reps int) (*Flee
 		}
 		aotStats := aotStore.Stats()
 
+		out.BaselineWallsMS = append(out.BaselineWallsMS, float64(baseAgg.Microseconds())/1000)
+		out.AotWallsMS = append(out.AotWallsMS, float64(aotAgg.Microseconds())/1000)
 		if out.Baseline == 0 || baseAgg < out.Baseline {
 			out.Baseline = baseAgg
 			out.BaselineDiskBytes = baseStats.BytesServedDisk
@@ -268,7 +271,7 @@ func MeasureFleet(name string, scale, machines int, dir string, reps int) (*Flee
 // BenchmarkFleetColdStart).
 func (r *Runner) AotTable() (*stats.Table, error) {
 	t := stats.NewTable(
-		fmt.Sprintf("Fleet cold start: %d machines, shared cache (scale %d, host clock)", FleetMachines, r.Scale),
+		fmt.Sprintf("Fleet cold start: %d machines, shared cache (scale %d, host clock)", r.FleetMachines, r.Scale),
 		"Program", "base ms", "aot ms", "precompile ms", "disk KB", "hot KB", "hot hits", "reduction %")
 	dir, err := os.MkdirTemp("", "daisy-aot-")
 	if err != nil {
@@ -277,10 +280,12 @@ func (r *Runner) AotTable() (*stats.Table, error) {
 	defer os.RemoveAll(dir)
 	var reductions []float64
 	for _, name := range Names() {
-		f, err := MeasureFleet(name, r.Scale, FleetMachines, dir, FleetReps)
+		f, err := MeasureFleet(name, r.Scale, r.FleetMachines, dir, r.FleetReps)
 		if err != nil {
 			return nil, err
 		}
+		r.RecordSamples("aot/"+name+"/baseline", "ms", f.BaselineWallsMS)
+		r.RecordSamples("aot/"+name+"/aot", "ms", f.AotWallsMS)
 		reductions = append(reductions, f.Reduction())
 		t.Row(name,
 			float64(f.Baseline.Microseconds())/1000,

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"daisy/internal/analytic"
@@ -92,9 +93,50 @@ func (m *M) FiniteILP() float64 {
 type Runner struct {
 	Scale int
 
+	// Repetition knobs of the wall-clock experiments; NewRunner installs
+	// the headline defaults and the paper harness turns them down for
+	// its CI smoke grid.
+	PipelineReps  int
+	FleetReps     int
+	FleetMachines int
+
 	mu      sync.Mutex
 	results map[Key]*measureEntry
 	statics map[string]*staticEntry
+	samples []SampleSeries
+}
+
+// SampleSeries is one named series of raw per-rep measurements a
+// wall-clock experiment retained while generating its table. The tables
+// report the min; the series is the evidence behind it, archived by the
+// paper harness next to the rendered table.
+type SampleSeries struct {
+	Name   string    `json:"name"`
+	Unit   string    `json:"unit"`
+	Values []float64 `json:"values"`
+}
+
+// RecordSamples retains one raw sample series (concurrency-safe; table
+// generation may run on the worker pool).
+func (r *Runner) RecordSamples(name, unit string, values []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, SampleSeries{
+		Name: name, Unit: unit, Values: append([]float64(nil), values...),
+	})
+}
+
+// SampleLog returns every retained series, sorted by name, as copies.
+func (r *Runner) SampleLog() []SampleSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SampleSeries, len(r.samples))
+	for i, s := range r.samples {
+		out[i] = SampleSeries{Name: s.Name, Unit: s.Unit,
+			Values: append([]float64(nil), s.Values...)}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // measureEntry is one singleflight cache slot: the Once gates the
@@ -116,8 +158,12 @@ func NewRunner(scale int) *Runner {
 	if scale <= 0 {
 		scale = 2
 	}
-	return &Runner{Scale: scale, results: make(map[Key]*measureEntry),
-		statics: make(map[string]*staticEntry)}
+	return &Runner{Scale: scale,
+		PipelineReps:  PipelineReps,
+		FleetReps:     FleetReps,
+		FleetMachines: FleetMachines,
+		results:       make(map[Key]*measureEntry),
+		statics:       make(map[string]*staticEntry)}
 }
 
 // Names lists the benchmarks in the paper's table order.

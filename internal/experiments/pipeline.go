@@ -67,6 +67,11 @@ type PipelineM struct {
 	AsyncPublishes uint64
 	StaleDropped   uint64
 	OutputFNV      uint64 // output digest, for cross-mode validation
+
+	// WallsMS retains every rep's wall time in milliseconds, capture
+	// order, when the measurement came from MeasurePipelineSet — the raw
+	// distribution behind the reported minimum. Nil for a single run.
+	WallsMS []float64
 }
 
 // MeasurePipeline times one workload end-to-end in one mode. The warm
@@ -102,10 +107,7 @@ func MeasurePipeline(name string, scale int, mode PipelineMode, store *txcache.S
 		return nil, fmt.Errorf("experiments: pipeline %s/%s: %w", name, mode, err)
 	}
 	wall := time.Since(start)
-	var fnv uint64 = 0xcbf29ce484222325
-	for _, c := range env.Out {
-		fnv = (fnv ^ uint64(c)) * 0x100000001b3
-	}
+	fnv := OutputFNV(env.Out)
 	return &PipelineM{
 		Workload:       name,
 		Mode:           mode,
@@ -159,16 +161,21 @@ func MeasurePipelineBest(name string, scale int, mode PipelineMode, store *txcac
 // cross-mode ratios the pipeline comparison exists to report.
 func MeasurePipelineSet(name string, scale int, modes []PipelineMode, store *txcache.Store, reps int) (map[PipelineMode]*PipelineM, error) {
 	best := make(map[PipelineMode]*PipelineM, len(modes))
+	walls := make(map[PipelineMode][]float64, len(modes))
 	for i := 0; i < reps; i++ {
 		for _, mode := range modes {
 			m, err := MeasurePipeline(name, scale, mode, store)
 			if err != nil {
 				return nil, err
 			}
+			walls[mode] = append(walls[mode], float64(m.Wall.Microseconds())/1000)
 			if b := best[mode]; b == nil || m.Wall < b.Wall {
 				best[mode] = m
 			}
 		}
+	}
+	for mode, m := range best {
+		m.WallsMS = walls[mode]
 	}
 	return best, nil
 }
@@ -187,11 +194,14 @@ func (r *Runner) PipelineTable() (*stats.Table, error) {
 		if err := PrimeCache(name, r.Scale, store); err != nil {
 			return nil, err
 		}
-		ms, err := MeasurePipelineSet(name, r.Scale, PipelineModes(), store, PipelineReps)
+		ms, err := MeasurePipelineSet(name, r.Scale, PipelineModes(), store, r.PipelineReps)
 		if err != nil {
 			return nil, err
 		}
 		base := ms[ModeSync]
+		for _, mode := range PipelineModes() {
+			r.RecordSamples(fmt.Sprintf("pipeline/%s/%s", name, mode), "ms", ms[mode].WallsMS)
+		}
 		for _, mode := range PipelineModes()[1:] {
 			if ms[mode].OutputFNV != base.OutputFNV {
 				return nil, fmt.Errorf("experiments: pipeline %s/%s output diverged from sync", name, mode)

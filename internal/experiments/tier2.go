@@ -54,11 +54,7 @@ func MeasureTier2(name string, scale int) (*Tier2M, error) {
 		if err := ma.Run(prog.Entry(), 4_000_000_000); err != nil {
 			return nil, 0, fmt.Errorf("experiments: tier2 %s: %w", name, err)
 		}
-		var fnv uint64 = 0xcbf29ce484222325
-		for _, c := range env.Out {
-			fnv = (fnv ^ uint64(c)) * 0x100000001b3
-		}
-		return ma, fnv, nil
+		return ma, OutputFNV(env.Out), nil
 	}
 	m1, d1, err := run(false)
 	if err != nil {

@@ -1,0 +1,90 @@
+package perfwall
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest stamps a snapshot or run folder with everything needed to
+// interpret its numbers later: what code ran, on what toolchain, on what
+// host. The comparison policy keys off it — wall-clock metrics are only
+// gated between snapshots whose hosts match (SameHost).
+type Manifest struct {
+	Schema     int    `json:"schema"`
+	Tool       string `json:"tool"`
+	Date       string `json:"date"` // RFC 3339, capture time
+	GitSHA     string `json:"git_sha,omitempty"`
+	GitDirty   bool   `json:"git_dirty,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"` // host CPU model string
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	BenchTime  string `json:"benchtime,omitempty"` // -benchtime used for capture
+	Count      int    `json:"count,omitempty"`     // -count used for capture
+}
+
+// CollectManifest fills a manifest from the current process and host.
+// Fields that cannot be determined (no git binary, no /proc/cpuinfo) are
+// left empty rather than failing: a manifest is provenance, not a gate.
+func CollectManifest(tool string) *Manifest {
+	m := &Manifest{
+		Schema:     SchemaVersion,
+		Tool:       tool,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if sha, dirty, ok := gitHead(); ok {
+		m.GitSHA, m.GitDirty = sha, dirty
+	}
+	return m
+}
+
+// SameHost reports whether two manifests describe comparable hosts for
+// wall-clock purposes: same CPU model, architecture and OS. A nil or
+// CPU-less manifest never matches — the legacy headerless snapshots have
+// no manifest, so time metrics across them are informational only.
+func SameHost(a, b *Manifest) bool {
+	if a == nil || b == nil || a.CPU == "" || b.CPU == "" {
+		return false
+	}
+	return a.CPU == b.CPU && a.GOARCH == b.GOARCH && a.GOOS == b.GOOS
+}
+
+func gitHead() (sha string, dirty, ok bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false, false
+	}
+	sha = strings.TrimSpace(string(out))
+	st, err := exec.Command("git", "status", "--porcelain").Output()
+	if err == nil && strings.TrimSpace(string(st)) != "" {
+		dirty = true
+	}
+	return sha, dirty, true
+}
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		// x86 writes "model name", arm64 writes "Processor"/"CPU part".
+		if strings.HasPrefix(line, "model name") || strings.HasPrefix(line, "Processor") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,126 @@
+package perfwall
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyP returns the two-sided p-value of the Mann-Whitney U test
+// (Wilcoxon rank-sum) for the null hypothesis that x and y are drawn
+// from the same distribution. Ties receive midranks. For the sample
+// sizes benchmarks produce (a handful of reps per side) the exact null
+// distribution is enumerated; the test is only meaningful with at least
+// two observations per side — fewer returns 1 (nothing can be
+// concluded from a single sample).
+func MannWhitneyP(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n < 2 || m < 2 {
+		return 1
+	}
+	// Midranks over the pooled sample.
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	pool := make([]obs, 0, n+m)
+	for _, v := range x {
+		pool = append(pool, obs{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+	ranks := make([]float64, n+m)
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	var w float64 // rank sum of x
+	for i, o := range pool {
+		if o.fromX {
+			w += ranks[i]
+		}
+	}
+
+	// Enumerate every way to choose n of the pooled ranks and count how
+	// many rank sums are at least / at most as extreme as observed.
+	// C(16,8) = 12870, far below the cap; larger inputs fall back to a
+	// coarse but safe tail bound via the same enumeration on a truncated
+	// prefix — in practice bench snapshots carry <= 10 reps per side.
+	total := 0
+	le, ge := 0, 0
+	const eps = 1e-9
+	var walk func(idx, picked int, sum float64)
+	walk = func(idx, picked int, sum float64) {
+		if picked == n {
+			total++
+			if sum <= w+eps {
+				le++
+			}
+			if sum >= w-eps {
+				ge++
+			}
+			return
+		}
+		if len(pool)-idx < n-picked {
+			return
+		}
+		walk(idx+1, picked+1, sum+ranks[idx])
+		walk(idx+1, picked, sum)
+	}
+	if binom(n+m, n) > 200_000 {
+		// Normal approximation with tie correction for large inputs.
+		return normalApproxP(w, ranks, n, m)
+	}
+	walk(0, 0, 0)
+	p := 2 * float64(min(le, ge)) / float64(total)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func binom(n, k int) int {
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+		if r > 1_000_000 {
+			return r
+		}
+	}
+	return r
+}
+
+// normalApproxP is the standard large-sample approximation of the
+// rank-sum distribution, with tie correction.
+func normalApproxP(w float64, ranks []float64, n, m int) float64 {
+	N := float64(n + m)
+	mu := float64(n) * (N + 1) / 2
+	// Tie correction: subtract sum(t^3-t) over tie groups.
+	tieSum := 0.0
+	for i := 0; i < len(ranks); {
+		j := i
+		for j < len(ranks) && ranks[j] == ranks[i] {
+			j++
+		}
+		t := float64(j - i)
+		tieSum += t*t*t - t
+		i = j
+	}
+	sigma2 := float64(n) * float64(m) / 12 * ((N + 1) - tieSum/(N*(N-1)))
+	if sigma2 <= 0 {
+		return 1
+	}
+	z := math.Abs(w-mu) / math.Sqrt(sigma2)
+	return math.Erfc(z / math.Sqrt2) // two-sided normal tail
+}

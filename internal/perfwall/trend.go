@@ -1,0 +1,181 @@
+package perfwall
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"daisy/internal/stats"
+)
+
+// HistoryFile is one snapshot in the repository's benchmark history.
+type HistoryFile struct {
+	Path  string
+	Label string // column heading: file name minus BENCH_ / .json
+	Snap  *Snapshot
+}
+
+// LoadHistory reads every snapshot path in order. Labels are derived
+// from the file names; the caller chooses the order (the Makefile passes
+// a lexicographic glob, which for the dated BENCH_* names is close
+// enough to chronological).
+func LoadHistory(paths []string) ([]HistoryFile, error) {
+	var files []HistoryFile
+	for _, p := range paths {
+		s, err := ReadSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, HistoryFile{Path: p, Label: historyLabel(p), Snap: s})
+	}
+	return files, nil
+}
+
+// SortHistoryPaths orders snapshot paths chronologically as far as the
+// naming convention allows: lexicographic by label (the dated names sort
+// correctly), except that a "_pre" variant — the convention for a
+// before/after pair's "before" — sorts ahead of every other snapshot of
+// its date.
+func SortHistoryPaths(paths []string) {
+	key := func(p string) (group string, rank int, label string) {
+		label = historyLabel(p)
+		rank = 1
+		if strings.HasSuffix(label, "_pre") {
+			rank = 0
+		}
+		group = label
+		if cut := strings.IndexByte(group, '_'); cut >= 0 {
+			group = group[:cut]
+		}
+		return group, rank, label
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		gi, ri, li := key(paths[i])
+		gj, rj, lj := key(paths[j])
+		if gi != gj {
+			return gi < gj
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return li < lj
+	})
+}
+
+func historyLabel(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, ".json")
+	base = strings.TrimPrefix(base, "BENCH_")
+	return base
+}
+
+// Series is one benchmark/metric trajectory across the history: one
+// value (or NaN) per history file, in file order.
+type Series struct {
+	Key    Key
+	Values []float64 // NaN where the file lacks the pair
+}
+
+// Points returns the non-NaN (index, value) pairs.
+func (s *Series) Points() (idx []int, vals []float64) {
+	for i, v := range s.Values {
+		if v == v { // !NaN
+			idx = append(idx, i)
+			vals = append(vals, v)
+		}
+	}
+	return idx, vals
+}
+
+// AlignHistory builds the per-metric series of every benchmark/metric
+// pair appearing anywhere in the history, sorted by benchmark then
+// metric name.
+func AlignHistory(files []HistoryFile) []Series {
+	seen := map[Key]bool{}
+	var keys []Key
+	for _, f := range files {
+		for _, r := range f.Snap.Results {
+			for m := range r.Metrics {
+				k := Key{r.Name, m}
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Bench != keys[j].Bench {
+			return keys[i].Bench < keys[j].Bench
+		}
+		return keys[i].Metric < keys[j].Metric
+	})
+	out := make([]Series, 0, len(keys))
+	for _, k := range keys {
+		s := Series{Key: k}
+		for _, f := range files {
+			v := math.NaN()
+			if r := f.Snap.Result(k.Bench); r != nil {
+				if x, ok := r.Metrics[k.Metric]; ok {
+					v = x
+				}
+			}
+			s.Values = append(s.Values, v)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WallTable renders the full history as one table: a row per
+// benchmark/metric, a column per snapshot, values formatted compactly,
+// and a trend column comparing the last value to the first.
+func WallTable(files []HistoryFile) *stats.Table {
+	cols := []string{"benchmark", "metric"}
+	for _, f := range files {
+		cols = append(cols, f.Label)
+	}
+	cols = append(cols, "first→last")
+	t := stats.NewTable(fmt.Sprintf("Perf-trend wall over %d snapshots", len(files)), cols...)
+	for _, s := range AlignHistory(files) {
+		row := []any{s.Key.Bench, s.Key.Metric}
+		for _, v := range s.Values {
+			if v != v {
+				row = append(row, "")
+			} else {
+				row = append(row, compact(v))
+			}
+		}
+		_, vals := s.Points()
+		trend := ""
+		if len(vals) >= 2 && vals[0] != 0 {
+			pct := (vals[len(vals)-1] - vals[0]) / vals[0] * 100
+			trend = fmt.Sprintf("%+.1f%%", pct)
+		}
+		row = append(row, trend)
+		t.Row(row...)
+	}
+	return t
+}
+
+// compact formats a metric value for the dense wall table.
+func compact(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case a >= 100 || a == float64(int64(a)):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -108,6 +108,79 @@ func (t *Table) String() string {
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
 
+// Cells returns the formatted table contents: the header row followed by
+// every data row. The slices are copies; mutating them does not affect
+// the table.
+func (t *Table) Cells() [][]string {
+	out := make([][]string, 0, len(t.rows)+1)
+	out = append(out, append([]string(nil), t.Columns...))
+	for _, r := range t.rows {
+		out = append(out, append([]string(nil), r...))
+	}
+	return out
+}
+
+// CSV renders the table as RFC 4180 CSV: one header row, then the data
+// rows, with the same formatted cells the text renderer prints. The
+// title is not part of the CSV payload (it lives in the file name).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table, the
+// title as a bold caption line above it. Pipes in cells are escaped.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	b.WriteByte('|')
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		// A short row (tables sometimes leave trailing cells off a MEAN
+		// line) still renders with the full column count.
+		row := append([]string(nil), r...)
+		for len(row) < len(t.Columns) {
+			row = append(row, "")
+		}
+		writeRow(row)
+	}
+	return b.String()
+}
+
 // GeoMean returns the geometric mean of positive values (the paper's MEAN
 // rows are arithmetic; both are provided).
 func GeoMean(xs []float64) float64 {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -170,6 +172,23 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	_, err := w.Write(b.Bytes())
 	return err
+}
+
+// WriteFiles archives the snapshot into dir in both export formats —
+// telemetry.json and telemetry.prom — creating dir if needed. This is
+// how a paper-harness run folder captures the machine's metric state.
+func (s Snapshot) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "telemetry.json"), []byte(s.JSON()+"\n"), 0o644); err != nil {
+		return err
+	}
+	var b bytes.Buffer
+	if err := s.WritePrometheus(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "telemetry.prom"), b.Bytes(), 0o644)
 }
 
 func promName(s string) string {

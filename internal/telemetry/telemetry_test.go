@@ -3,6 +3,8 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -207,6 +209,30 @@ func TestSnapshotSortedAndPrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestSnapshotWriteFiles(t *testing.T) {
+	tel := New(DefaultOptions())
+	tel.Counter("aa").Add(3)
+	dir := filepath.Join(t.TempDir(), "profile")
+	if err := tel.Snapshot().WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(filepath.Join(dir, "telemetry.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(j, &s); err != nil {
+		t.Fatalf("telemetry.json does not round-trip: %v", err)
+	}
+	p, err := os.ReadFile(filepath.Join(dir, "telemetry.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(p), "aa 3") {
+		t.Fatalf("telemetry.prom missing counter:\n%s", p)
 	}
 }
 
